@@ -1,0 +1,27 @@
+"""Benchmark-suite fixtures: result capture for the figure reproductions."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_tables(results_dir):
+    """Write an experiment's tables to benchmarks/results/<name>.txt."""
+
+    def _save(name: str, tables) -> None:
+        from repro.util.tables import render_many
+
+        (results_dir / f"{name}.txt").write_text(render_many(tables) + "\n")
+
+    return _save

@@ -1,0 +1,62 @@
+"""Ablation: memory footprint across the operator design space.
+
+Quantifies the paper's §III trade-off ("storage can still be high" for
+HYMV) including the partial-assembly extension point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.driver import run_bench
+from repro.harness.memory import run as run_memory
+from repro.mesh import ElementType
+from repro.problems import elastic_bar_problem
+
+
+@pytest.fixture(scope="module")
+def tables(save_tables):
+    t = run_memory("small")
+    save_tables("ablation_memory", t)
+    return t
+
+
+def test_memory_orderings(tables):
+    mod, em = tables
+    rows = {(r[0], r[1]): r for r in mod.rows}
+    for etype in ("hex8", "hex20", "hex27", "tet4", "tet10"):
+        for op in ("Poisson", "Elasticity"):
+            _, _, hymv, assembled, partial, matfree, _ = rows[(etype, op)]
+            # matrix-free stores (almost) nothing
+            assert matfree < 0.15 * min(hymv, assembled)
+            # HYMV footprint is material (the paper's §III caveat)
+            assert hymv > 100.0
+    # partial assembly pays off exactly where the paper's use-cases live:
+    # quadratic vector operators
+    assert rows[("hex20", "Elasticity")][4] < 0.1 * rows[("hex20", "Elasticity")][2]
+    # ... but NOT for low-order scalar operators (more q-data than Ke)
+    assert rows[("hex8", "Poisson")][4] > rows[("hex8", "Poisson")][2] * 0.5
+
+    # emulated measurements agree in ordering for the hex20 case
+    m = {(r[0], r[1]): r[3] for r in em.rows}
+    assert m[("elastic hex20", "partial")] < m[("elastic hex20", "hymv")]
+    assert m[("elastic hex20", "matfree")] == 0.0
+
+
+def test_hymv_vs_assembled_footprint_measured():
+    spec = elastic_bar_problem(4, 2, ElementType.HEX20)
+    hymv = run_bench(spec, "hymv", n_spmv=1)
+    asm = run_bench(spec, "assembled", n_spmv=1)
+    # same order of magnitude; neither dominates by 10x (paper §III:
+    # "node-local storage ... higher than the matrix-assembled approach")
+    ratio = hymv.stored_bytes / asm.stored_bytes
+    assert 0.3 < ratio < 3.0
+
+
+def test_memory_model_kernel(benchmark):
+    from repro.harness.memory import _modeled_bytes_per_dof
+    from repro.fem.operators import ElasticityOperator
+
+    benchmark(
+        lambda: _modeled_bytes_per_dof(ElementType.HEX20, ElasticityOperator())
+    )

@@ -1,0 +1,36 @@
+"""Fig. 3 / §V-D reproduction: stream-count sweep and overlap timeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.streams import StreamScheduler
+from repro.harness.fig03 import run as run_fig03
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return run_fig03("small")
+
+
+def test_fig03_reproduction_shapes(tables, save_tables):
+    save_tables("fig03", tables)
+    sweep, timeline = tables
+    streams = sweep.column("streams")
+    makespans = sweep.column("makespan_ms")
+    # monotone improvement, saturating at 8 (the paper's pick)
+    assert all(b <= a + 1e-12 for a, b in zip(makespans, makespans[1:]))
+    assert makespans[-1] < 0.8 * makespans[0]
+    effs = sweep.column("overlap_efficiency")
+    assert effs[-1] > 1.5  # real copy/kernel overlap
+    # timeline contains all three engine lanes
+    txt = "\n".join(r[0] for r in timeline.rows)
+    assert "h2d" in txt and "kernel" in txt and "d2h" in txt
+
+
+def test_fig03_scheduler_kernel(benchmark):
+    def schedule():
+        s = StreamScheduler(n_streams=8)
+        return s.run_batch(5e8, 7e9, 3.6e9, 5e8, n_chunks=64)
+
+    benchmark(schedule)

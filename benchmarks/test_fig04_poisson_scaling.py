@@ -1,0 +1,61 @@
+"""Fig. 4 reproduction: Poisson Hex8 weak/strong scaling.
+
+Benchmarks the HYMV SPMV kernel the figure times, and regenerates both
+scaling tables, asserting the paper's shape claims.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness.fig04 import run as run_fig04
+from repro.harness.driver import run_bench
+from repro.problems import poisson_problem
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return run_fig04("small")
+
+
+def test_fig04_reproduction_shapes(tables, save_tables):
+    save_tables("fig04", tables)
+    weak_em, weak_mod, strong_em, strong_mod = tables
+
+    # modeled tier, paper claims
+    methods = np.array(weak_mod.column("method"))
+    setup = np.array(weak_mod.column("setup_s"))
+    spmv = np.array(weak_mod.column("spmv10_s"))
+    h_set = setup[methods == "hymv"]
+    p_set = setup[methods == "petsc"]
+    m_spmv = spmv[methods == "matrix-free"]
+    h_spmv = spmv[methods == "hymv"]
+    p_spmv = spmv[methods == "petsc"]
+    # HYMV setup flat in p (weak scaling)
+    assert h_set.max() / h_set.min() < 1.05
+    # PETSc setup ~10x HYMV at the largest run (band: 4-14x)
+    assert 4.0 < p_set[-1] / h_set[-1] < 14.0
+    # matrix-free SPMV far above both; HYMV comparable to PETSc
+    assert (m_spmv > 3.0 * np.maximum(h_spmv, p_spmv)).all()
+    assert 0.4 < (h_spmv / p_spmv).mean() < 2.5
+
+    # strong scaling: all methods speed up with cores
+    sm = np.array(strong_mod.column("method"))
+    st = np.array(strong_mod.column("spmv10_s"))
+    for m in ("hymv", "petsc", "matrix-free"):
+        ts = st[sm == m]
+        assert (np.diff(ts) < 0).all()
+
+    # emulated tier: matrix-free SPMV dominates, HYMV setup flat-ish
+    em = np.array(weak_em.column("method"))
+    es = np.array(weak_em.column("setup_s"))
+    ev = np.array(weak_em.column("spmv10_s"))
+    assert (ev[em == "matfree"] > 3 * ev[em == "hymv"]).all()
+    h = es[em == "hymv"]
+    assert h.max() / h.min() < 3.0  # flat up to small-scale noise
+
+
+def test_fig04_hymv_spmv_kernel(benchmark):
+    spec = poisson_problem(12, 2)
+    benchmark(lambda: run_bench(spec, "hymv", n_spmv=10).spmv_time)

@@ -1,0 +1,52 @@
+"""Fig. 5 reproduction: elasticity Hex8 weak/strong scaling with setup
+breakdown (element-matrix compute vs assembly overhead)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness.driver import run_bench
+from repro.harness.fig05 import run as run_fig05
+from repro.mesh import ElementType
+from repro.problems import elastic_bar_problem
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return run_fig05("small")
+
+
+def test_fig05_reproduction_shapes(tables, save_tables):
+    save_tables("fig05", tables)
+    weak_em, weak_mod, strong_mod = tables
+
+    m = np.array(weak_mod.column("method"))
+    setup = np.array(weak_mod.column("setup_s"))
+    emat = np.array(weak_mod.column("emat_s"))
+    over = np.array(weak_mod.column("overhead_s"))
+    # paper: HYMV setup ~5x faster than PETSc (band 3-8)
+    r = setup[m == "petsc"][-1] / setup[m == "hymv"][-1]
+    assert 3.0 < r < 8.0
+    # breakdown: both pay the same emat compute; the difference is the
+    # assembly overhead (the figure's second bar segment)
+    np.testing.assert_allclose(
+        emat[m == "petsc"], emat[m == "hymv"], rtol=1e-12
+    )
+    assert (over[m == "petsc"] > 5 * over[m == "hymv"]).all()
+
+    # emulated tier sanity: hymv overhead (local copy) below assembled's
+    em = np.array(weak_em.column("method"))
+    eo = np.array(weak_em.column("overhead_s"))
+    assert eo[em == "assembled"].mean() > eo[em == "hymv"].mean()
+
+    # strong scaling decreases
+    sm = np.array(strong_mod.column("method"))
+    st = np.array(strong_mod.column("spmv10_s"))
+    for name in ("hymv", "petsc"):
+        assert (np.diff(st[sm == name]) < 0).all()
+
+
+def test_fig05_elasticity_setup_kernel(benchmark):
+    spec = elastic_bar_problem(5, 2, ElementType.HEX8)
+    benchmark(lambda: run_bench(spec, "hymv", n_spmv=1).setup_time)

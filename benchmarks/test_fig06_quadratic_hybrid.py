@@ -1,0 +1,41 @@
+"""Fig. 6 reproduction: Hex20 elasticity, pure MPI vs hybrid MPI+OpenMP."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness.driver import run_bench
+from repro.harness.fig06 import run as run_fig06
+from repro.mesh import ElementType
+from repro.problems import elastic_bar_problem
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return run_fig06("small")
+
+
+def test_fig06_reproduction_shapes(tables, save_tables):
+    save_tables("fig06", tables)
+    weak_em, weak_mod, strong_mod = tables
+
+    for mod in (weak_mod, strong_mod):
+        series = np.array(mod.column("series"))
+        t = np.array(mod.column("spmv10_s"))
+        petsc = t[series == "petsc"]
+        mpi = t[series == "hymv pure-MPI"]
+        hyb = t[series == "hymv hybrid (28 thr)"]
+        # paper ordering at every point: hybrid < pure-MPI < petsc
+        assert (hyb < mpi).all()
+        assert (mpi <= petsc).all()
+    # weak tier: hybrid advantage over petsc in the paper's band
+    series = np.array(weak_mod.column("series"))
+    t = np.array(weak_mod.column("spmv10_s"))
+    ratio = (t[series == "petsc"] / t[series == "hymv hybrid (28 thr)"]).mean()
+    assert 1.2 < ratio < 2.2  # paper: 1.7x average
+
+
+def test_fig06_hex20_spmv_kernel(benchmark):
+    spec = elastic_bar_problem(4, 2, ElementType.HEX20)
+    benchmark(lambda: run_bench(spec, "hymv", n_spmv=10).spmv_time)

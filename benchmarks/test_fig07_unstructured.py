@@ -1,0 +1,46 @@
+"""Fig. 7 reproduction: unstructured Tet10 Poisson strong scaling —
+the paper's headline unstructured result (11x setup, 3.6x SPMV)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness.driver import run_bench
+from repro.harness.fig07 import run as run_fig07
+from repro.mesh import ElementType
+from repro.problems import poisson_problem
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return run_fig07("small")
+
+
+def test_fig07_reproduction_shapes(tables, save_tables):
+    save_tables("fig07", tables)
+    em, mod = tables
+
+    m = np.array(mod.column("method"))
+    cores = np.array(mod.column("cores"))
+    setup = np.array(mod.column("setup_s"))
+    spmv = np.array(mod.column("spmv10_s"))
+    su_ratio = setup[m == "petsc"] / setup[m == "hymv"]
+    sp_ratio = spmv[m == "petsc"] / spmv[m == "hymv"]
+    # paper averages: 11x setup, 3.6x SPMV
+    assert 7.0 < su_ratio.mean() < 16.0
+    assert 2.5 < sp_ratio.mean() < 5.5
+    # strong scaling: both methods shrink with cores
+    for name in ("hymv", "petsc"):
+        assert (np.diff(setup[m == name]) < 0).all()
+        assert (np.diff(spmv[m == name]) < 0).all()
+
+    # emulated tier: assembled overhead dominates hymv's local copy
+    eme = np.array(em.column("method"))
+    over = np.array(em.column("overhead_s"))
+    assert (over[eme == "assembled"] > over[eme == "hymv"]).all()
+
+
+def test_fig07_unstructured_spmv_kernel(benchmark):
+    spec = poisson_problem(5, 2, ElementType.TET10)
+    benchmark(lambda: run_bench(spec, "hymv", n_spmv=10).spmv_time)

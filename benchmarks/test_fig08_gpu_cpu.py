@@ -1,0 +1,57 @@
+"""Fig. 8 reproduction: HYMV-GPU vs HYMV-CPU SPMV."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness.driver import run_bench
+from repro.harness.fig08 import run as run_fig08
+from repro.mesh import ElementType
+from repro.problems import elastic_bar_problem
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return run_fig08("small")
+
+
+def test_fig08_reproduction_shapes(tables, save_tables):
+    save_tables("fig08", tables)
+    em, a, b = tables
+
+    # (a) single node: speedup roughly constant, in the paper's band
+    speedups = np.array(a.column("speedup"))
+    assert (speedups > 4.0).all() and (speedups < 11.0).all()
+    assert speedups[-1] / speedups[0] < 2.0  # "approximately constant"
+    # GPU setup slightly above CPU setup at every size
+    cpu_su = np.array(a.column("cpu_setup_s"))
+    gpu_su = np.array(a.column("gpu_setup_s"))
+    assert (gpu_su > cpu_su).all()
+    assert (gpu_su < 1.6 * cpu_su).all()
+
+    # (b) weak scaling: GPU ~7.5x; GPU/CPU(O) slower than GPU/GPU(O)
+    cpu = np.array(b.column("cpu_spmv10_s"))
+    gpu = np.array(b.column("gpu_spmv10_s"))
+    gco = np.array(b.column("gpu_cpu_ovl_s"))
+    ggo = np.array(b.column("gpu_gpu_ovl_s"))
+    # paper: ~7.5x; our 4-thread CPU model overshoots somewhat (see
+    # EXPERIMENTS.md), so assert the order of magnitude
+    assert (5.0 < cpu / gpu).all() and (cpu / gpu < 18.0).all()
+    assert (gco >= ggo).all()
+    # no notable difference between GPU and GPU/GPU(O) at this scale
+    assert np.abs(gpu / ggo - 1.0).max() < 0.15
+
+    # emulated tier: the simulated device produces real numbers with
+    # modeled times that grow with problem size (the CPU-vs-GPU speedup
+    # claim lives on the modeled tier above, where both sides are modeled)
+    methods = np.array(em.column("method"))
+    spmv = np.array(em.column("spmv10_s"))
+    gpu_times = spmv[methods == "hymv_gpu"]
+    assert (gpu_times > 0).all()
+    assert gpu_times[-1] > gpu_times[0]
+
+
+def test_fig08_gpu_operator_kernel(benchmark):
+    spec = elastic_bar_problem(3, 2, ElementType.HEX20)
+    benchmark(lambda: run_bench(spec, "hymv_gpu", n_spmv=10).spmv_time)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""The paper's elasticity verification problem (§V-B): a prismatic bar
+hanging under its own weight (Timoshenko & Goodier), with the exact
+solution reproduced to machine precision by quadratic elements.
+
+Demonstrates the preconditioning study of Fig. 11: no preconditioner vs
+Jacobi vs block Jacobi, across the three SPMV methods.
+
+Run:  python examples/elasticity_bar.py
+"""
+
+from repro.harness import run_solve
+from repro.mesh import ElementType
+from repro.problems import elastic_bar_problem
+
+
+def main() -> None:
+    print("Hanging elastic bar (Timoshenko & Goodier) — Hex20 elements")
+    print("=" * 68)
+    spec = elastic_bar_problem(4, n_parts=3, etype=ElementType.HEX20)
+    print(
+        f"mesh: {spec.mesh.n_elements} Hex20 elements, "
+        f"{spec.n_dofs} dofs, 3 simulated ranks"
+    )
+    print(
+        "loads: gravity body force + uniform traction on the top face; "
+        "rigid modes pinned at 6 dofs (exact values)"
+    )
+    print()
+    header = (
+        f"{'method':11s} {'precond':8s} {'iters':>6s} {'err_inf':>10s} "
+        f"{'setup_ms':>9s} {'solve_ms':>9s} {'total_ms':>9s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for method in ("hymv", "assembled", "matfree"):
+        for precond in ("none", "jacobi", "bjacobi"):
+            out = run_solve(spec, method, precond=precond, rtol=1e-10,
+                            maxiter=8000)
+            print(
+                f"{method:11s} {precond:8s} {out.iterations:6d} "
+                f"{out.err_inf:10.2e} {out.setup_time * 1e3:9.2f} "
+                f"{out.solve_time * 1e3:9.2f} {out.total_time * 1e3:9.2f}"
+            )
+    print()
+    print("Things to note (all three mirror the paper):")
+    print(" * quadratic elements hit err ~1e-9 — the solution is exactly")
+    print("   representable (paper reports err < 1e-8)")
+    print(" * block Jacobi cuts iterations vs Jacobi vs none (Fig. 11)")
+    print(" * identical iteration counts across SPMV methods — they apply")
+    print("   the same operator; only setup/SPMV cost differs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""HYMV-GPU (Algorithm 3): the stream pipeline and overlap schemes.
+
+Renders the Fig. 3-style timeline of H2D transfers, batched EMV kernels
+and D2H transfers across CUDA streams on the simulated Quadro RTX 5000,
+sweeps the stream count (§V-D: eight streams were best), and compares the
+three overlap schemes on a distributed solve.
+
+Run:  python examples/gpu_pipeline.py
+"""
+
+from repro.fem.operators import ElasticityOperator
+from repro.gpu import StreamScheduler
+from repro.harness import run_solve
+from repro.mesh import ElementType
+from repro.problems import elastic_bar_problem
+
+
+def main() -> None:
+    print("HYMV-GPU stream pipeline (simulated Quadro RTX 5000)")
+    print("=" * 64)
+
+    op = ElasticityOperator()
+    nd = op.element_dofs(ElementType.HEX20)
+    n_elements = 50_000  # one device batch
+    work = dict(
+        h2d_bytes=n_elements * nd * 8.0,
+        kernel_flops=2.0 * n_elements * nd * nd,
+        kernel_bytes=n_elements * nd * nd * 8.0,
+        d2h_bytes=n_elements * nd * 8.0,
+    )
+
+    print("stream-count sweep (paper §V-D):")
+    base = None
+    for ns in (1, 2, 4, 8):
+        s = StreamScheduler(n_streams=ns)
+        t = s.run_batch(**work, n_chunks=max(8, ns))
+        base = base or t
+        print(
+            f"  {ns} streams: {t * 1e3:7.3f} ms  "
+            f"(speedup {base / t:4.2f}x, overlap {s.overlap_efficiency():.2f}x)"
+        )
+    print()
+
+    s = StreamScheduler(n_streams=8)
+    s.run_batch(**work)
+    print("timeline with 8 streams:")
+    print(s.render_ascii(64))
+    print()
+
+    print("distributed solve with the three overlap schemes (Fig. 8b):")
+    spec = elastic_bar_problem(4, n_parts=3, etype=ElementType.HEX20)
+    for scheme in ("gpu", "gpu_cpu_overlap", "gpu_gpu_overlap"):
+        out = run_solve(
+            spec, "hymv_gpu", precond="jacobi", rtol=1e-8, scheme=scheme
+        )
+        print(
+            f"  {scheme:16s} iters={out.iterations:3d} "
+            f"err={out.err_inf:.2e} total={out.total_time * 1e3:8.2f} ms"
+        )
+    print()
+    print("The numerics are identical across schemes (and identical to the")
+    print("CPU path); only the modeled device/communication timing differs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: solve a Poisson problem with HYMV on 4 simulated MPI ranks.
+
+Walks the full pipeline the paper describes:
+
+1. build a structured hex mesh of the unit cube,
+2. partition it (z-slabs, like the paper's verification runs),
+3. per rank: HYMV setup (compute + store element matrices, build the
+   E2L/LNSM/GNGM maps),
+4. CG solve through the MatShell-style operator with a Jacobi
+   preconditioner,
+5. check the error against the exact manufactured solution
+   (paper §V-B: errors between 23.4e-5 and 0.1e-5 under refinement).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.harness import run_solve
+from repro.mesh import ElementType
+from repro.problems import poisson_problem
+
+
+def main() -> None:
+    print("HYMV quickstart — Poisson on the unit cube, 4 simulated ranks")
+    print("=" * 64)
+
+    for nel in (10, 20):
+        spec = poisson_problem(nel, n_parts=4, etype=ElementType.HEX8)
+        out = run_solve(spec, "hymv", precond="jacobi", rtol=1e-10)
+        print(
+            f"mesh {nel}^3  dofs={spec.n_dofs:6d}  "
+            f"CG iters={out.iterations:3d}  converged={out.converged}  "
+            f"||u - u_exact||_inf = {out.err_inf:.3e}"
+        )
+        print(
+            f"  setup {out.setup_time * 1e3:7.2f} ms   "
+            f"solve {out.solve_time * 1e3:7.2f} ms   "
+            f"(virtual time: measured compute + modeled network)"
+        )
+
+    print()
+    print("Comparing the three SPMV methods on the same 12^3 problem:")
+    spec = poisson_problem(12, n_parts=4)
+    for method in ("hymv", "assembled", "matfree"):
+        out = run_solve(spec, method, precond="jacobi", rtol=1e-10)
+        print(
+            f"  {method:10s} iters={out.iterations:3d} "
+            f"err={out.err_inf:.3e} setup={out.setup_time * 1e3:7.2f} ms "
+            f"solve={out.solve_time * 1e3:7.2f} ms"
+        )
+    print()
+    print("All three methods apply the *same* operator — identical "
+          "iteration counts and errors; they differ in where the time goes.")
+    print()
+    print("(Curiosity: CG converges in one iteration here because the "
+          "sin·sin·sin forcing sampled on a uniform grid is an exact "
+          "eigenvector of the discrete operator. On unstructured meshes — "
+          "see examples/unstructured_poisson.py — iteration counts are "
+          "ordinary.)")
+
+
+if __name__ == "__main__":
+    main()

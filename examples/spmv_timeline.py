@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Per-rank virtual-time timeline of the HYMV SPMV (Algorithm 2).
+
+Runs ten overlapped SPMV products with virtual-time tracing enabled and
+renders a Gantt chart per rank: element-matrix setup, EMV sweeps, and the
+blocking waits the overlap is hiding.  Uses the deterministic
+modeled-compute mode so the picture is reproducible.
+
+Run:  python examples/spmv_timeline.py
+"""
+
+import numpy as np
+
+from repro.core import HymvOperator
+from repro.mesh import ElementType
+from repro.problems import elastic_bar_problem
+from repro.simmpi import NetworkModel, run_spmd
+from repro.simmpi.trace import render_gantt
+
+
+def main() -> None:
+    print("HYMV SPMV timeline on 4 simulated ranks (Hex20 elasticity)")
+    print("=" * 66)
+    spec = elastic_bar_problem((4, 4, 12), n_parts=4, etype=ElementType.HEX20)
+    net = NetworkModel(
+        latency_inter=0.5e-3, bandwidth_inter=2e6,
+        latency_intra=0.5e-3, bandwidth_intra=2e6, cores_per_node=1,
+    )
+
+    def prog(comm, lmesh, overlap):
+        A = HymvOperator(
+            comm, lmesh, spec.operator, modeled_rate_gflops=0.05
+        )
+        u, v = A.new_array(), A.new_array()
+        u.set_owned(np.ones(A.n_dofs_owned))
+        for _ in range(3):
+            A.spmv(u, v, overlap=overlap)
+        return comm.vtime
+
+    for overlap in (False, True):
+        res, sim = run_spmd(
+            4, prog,
+            rank_args=[(spec.partition.local(r), overlap) for r in range(4)],
+            network=net,
+            compute_scale=0.0,  # deterministic: modeled compute only
+            trace=True,
+        )
+        mode = "overlapped (Algorithm 2)" if overlap else "blocking"
+        print(f"\n--- {mode}: total virtual time {max(res) * 1e3:.2f} ms ---")
+        print(render_gantt(sim.comms, width=66))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Unstructured-mesh workflow (paper §V-C.3 / Fig. 7): quadratic
+tetrahedra, graph partitioning, and the HYMV vs matrix-assembled
+comparison where the assembled approach suffers most.
+
+Run:  python examples/unstructured_poisson.py
+"""
+
+import numpy as np
+
+from repro.harness import run_solve
+from repro.harness.driver import run_bench
+from repro.mesh import ElementType
+from repro.partition import partition_metrics
+from repro.problems import poisson_problem
+
+
+def main() -> None:
+    print("Unstructured Tet10 Poisson (Gmsh/METIS substitute pipeline)")
+    print("=" * 64)
+    spec = poisson_problem(6, n_parts=4, etype=ElementType.TET10, jitter=0.25)
+    mesh, part = spec.mesh, spec.partition
+    met = partition_metrics(part)
+    print(
+        f"mesh: {mesh.n_elements} Tet10 elements, {mesh.n_nodes} nodes "
+        f"(jittered Kuhn triangulation)"
+    )
+    print(
+        f"graph partition: 4 parts, element imbalance "
+        f"{met.element_imbalance:.3f}, edge cut {met.edge_cut} "
+        f"({met.edge_cut_fraction:.1%} of dual edges), "
+        f"ghosts per rank {met.ghost_nodes.tolist()}"
+    )
+    print()
+
+    print("setup + 10 SPMV (the protocol of Fig. 7):")
+    for method in ("hymv", "assembled", "matfree"):
+        b = run_bench(spec, method, n_spmv=10)
+        print(
+            f"  {method:10s} setup {b.setup_time * 1e3:8.2f} ms   "
+            f"10xSPMV {b.spmv_time * 1e3:8.2f} ms   "
+            f"rate {b.gflops_rate:6.2f} GF/s   "
+            f"stored {b.stored_bytes / 1e6:6.2f} MB"
+        )
+    print()
+
+    print("full solve with Jacobi-preconditioned CG:")
+    out = run_solve(spec, "hymv", precond="jacobi", rtol=1e-10,
+                    return_solution=True)
+    print(
+        f"  iters={out.iterations}  err vs exact solution = "
+        f"{out.err_inf:.3e}"
+    )
+    # write the solution and the partition for ParaView
+    from repro.util.vtk import write_vtk
+
+    u_old = part.to_mesh_order(out.solution)
+    path = write_vtk(
+        "poisson_tet10.vtk", mesh,
+        point_data={"u": u_old},
+        cell_data={"rank": part.elem_part.astype(float)},
+    )
+    print(f"  solution + partition written to {path}")
+    print()
+    print("On unstructured meshes the assembled matrix's sparsity and the")
+    print("partition boundaries are irregular — exactly where the paper")
+    print("reports HYMV's largest advantages (11x setup, 3.6x SPMV).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Baselines the paper compares HYMV against.
+
+* :mod:`repro.baselines.matfree` — Algorithm 4: element-by-element SPMV
+  with element matrices *recomputed every product* (the matrix-free
+  approach; no setup cost, much more compute per SPMV).
+* :mod:`repro.baselines.assembled` — the matrix-assembled approach (the
+  PETSc ``MatMult`` substitute): parallel global CSR assembly, including
+  the off-rank row-contribution exchange that dominates setup at scale,
+  then row-distributed CSR SPMV with a diag/off-diag split overlapping the
+  halo exchange (PETSc's own scheme).
+* :mod:`repro.baselines.serial` — serial global assembly, the reference
+  every distributed method is checked against bit-for-bit (up to FP
+  roundoff).
+"""
+
+from repro.baselines.assembled import AssembledOperator
+from repro.baselines.matfree import MatrixFreeOperator
+from repro.baselines.partial import PartialAssemblyOperator
+from repro.baselines.serial import SerialReference
+
+__all__ = [
+    "AssembledOperator",
+    "MatrixFreeOperator",
+    "PartialAssemblyOperator",
+    "SerialReference",
+]

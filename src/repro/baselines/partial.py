@@ -1,0 +1,156 @@
+"""Partial-assembly (geometric-storage) operator — an extension variant.
+
+The paper positions HYMV between matrix-assembled and matrix-free; the
+related-work section points at matrix-free accelerations (stencil
+scaling, MFEM/libCEED-style partial assembly).  This operator implements
+that fourth point in the design space:
+
+* at setup it stores only the *geometric factors* per quadrature point —
+  for the Poisson operator the symmetric 3x3 matrix
+  ``G_q = w_q detJ_q J_q^{-T} J_q^{-1}`` (6 floats), for elasticity the
+  full ``invJ``/``w detJ`` pair — instead of the dense ``Ke``;
+* each SPMV contracts reference-gradient tables against the stored
+  factors, recovering exactly the same product as HYMV with a fraction of
+  the memory (``O(q)`` vs ``O(nd²)`` per element) at the price of more
+  flops per product.
+
+It shares all maps/exchange machinery with HYMV through
+:class:`~repro.core.hymv.EbeOperatorBase`, so it slots into every driver
+as method name ``"partial"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hymv import EbeOperatorBase
+from repro.fem.elemmat import jacobians
+from repro.fem.operators import ElasticityOperator, PoissonOperator
+from repro.mesh.quadrature import quadrature_for
+from repro.mesh.shape_functions import shape_functions_for
+
+__all__ = ["PartialAssemblyOperator"]
+
+
+class PartialAssemblyOperator(EbeOperatorBase):
+    """Matrix-free with precomputed geometric factors (libCEED-style)."""
+
+    def __init__(self, comm, lmesh, operator, ranges=None, kernel="einsum",
+                 modeled_rate_gflops=None):
+        super().__init__(
+            comm, lmesh, operator, ranges=ranges, kernel=kernel,
+            modeled_rate_gflops=modeled_rate_gflops,
+        )
+        if not isinstance(operator, (PoissonOperator, ElasticityOperator)):
+            raise TypeError(
+                "partial assembly supports the Poisson and elasticity "
+                f"operators, got {type(operator).__name__}"
+            )
+        quad = operator.quad or quadrature_for(self.etype)
+        sf = shape_functions_for(self.etype)
+        self._dN = sf.grad(quad.points)  # (q, n, 3)
+        with comm.compute("setup.geom_factors"):
+            _, detJ, invJ = jacobians(self._dN, self._coords_perm)
+            wd = quad.weights[None, :] * detJ  # (E, q)
+            if (
+                isinstance(operator, PoissonOperator)
+                and operator.coefficient is not None
+            ):
+                N = sf.eval(quad.points)
+                xq = np.einsum(
+                    "qn,enk->eqk", N, self._coords_perm, optimize=True
+                )
+                kappa = np.asarray(
+                    operator.coefficient(xq), dtype=np.float64
+                )
+                wd = wd * kappa.reshape(wd.shape)
+            if isinstance(operator, PoissonOperator):
+                # G[e,q] = wd * invJ^T invJ in *reference* indices
+                # (symmetric; stored dense 3x3 for kernel simplicity —
+                # still ~nd²/(9 q) smaller than Ke)
+                self._G = np.einsum(
+                    "eqdk,eqdl,eq->eqkl", invJ, invJ, wd, optimize=True
+                )
+            else:
+                self._invJ = invJ
+                self._wd = wd
+
+    # ------------------------------------------------------------------
+
+    def _emv_sweep(self, u, v, sl) -> None:
+        idx = self.e2l_dofs[sl]
+        if idx.shape[0] == 0:
+            return
+        uf = u.data.reshape(-1)
+        vf = v.data.reshape(-1)
+        ue = uf[idx]  # (E, nd)
+        if isinstance(self.operator, PoissonOperator):
+            ve = self._apply_poisson(sl, ue)
+        else:
+            ve = self._apply_elasticity(sl, ue)
+        from repro.util.arrays import scatter_add
+
+        scatter_add(vf, idx, ve)
+        if self.modeled_rate_gflops:
+            flops = self.flops_per_spmv() / max(self.n_local_elements, 1)
+            self.comm.advance(
+                idx.shape[0] * flops / (self.modeled_rate_gflops * 1e9),
+                "spmv.emv_modeled",
+            )
+
+    def _apply_poisson(self, sl, ue):
+        # grad in reference space: g[e,q,d] = dN[q,n,d] u[e,n]
+        g = np.einsum("qnd,en->eqd", self._dN, ue, optimize=True)
+        # contract with geometric factors: f[e,q,k] = G[e,q,k,l] g[e,q,l]
+        f = np.einsum("eqkl,eql->eqk", self._G[sl], g, optimize=True)
+        # back to nodes: v[e,n] = dN[q,n,k] f[e,q,k]
+        return np.einsum("qnk,eqk->en", self._dN, f, optimize=True)
+
+    def _apply_elasticity(self, sl, ue):
+        op: ElasticityOperator = self.operator
+        lam, mu = op.material.lam, op.material.mu
+        invJ = self._invJ[sl]
+        wd = self._wd[sl]
+        E, nd = ue.shape
+        n = self.etype.n_nodes
+        uen = ue.reshape(E, n, 3)
+        # physical gradient of the displacement field:
+        # H[e,q,i,k] = d u_i / d x_k
+        gref = np.einsum("qnd,eni->eqid", self._dN, uen, optimize=True)
+        H = np.einsum("eqid,eqkd->eqik", gref, invJ, optimize=True)
+        # stress(ish) tensor: sigma = lam tr(eps) I + 2 mu eps
+        tr = np.einsum("eqii->eq", H)
+        sym = 0.5 * (H + np.swapaxes(H, 2, 3))
+        sigma = 2.0 * mu * sym
+        i3 = np.arange(3)
+        sigma[:, :, i3, i3] += lam * tr[:, :, None]
+        sigma *= wd[:, :, None, None]
+        # v[e,n,i] = dN_phys[e,q,n,k] sigma[e,q,i,k]
+        dN_phys = np.einsum("qnd,eqkd->eqnk", self._dN, invJ, optimize=True)
+        ve = np.einsum("eqnk,eqik->eni", dN_phys, sigma, optimize=True)
+        return ve.reshape(E, nd)
+
+    # ------------------------------------------------------------------
+    # preconditioner support: build Ke on demand (setup-time only)
+    # ------------------------------------------------------------------
+
+    def _element_matrices(self, sl: slice) -> np.ndarray:
+        return self.operator.element_matrices(
+            self._coords_perm[sl], self.etype
+        )
+
+    # ------------------------------------------------------------------
+
+    def flops_per_spmv(self) -> float:
+        q = (self.operator.quad or quadrature_for(self.etype)).n_points
+        n = self.etype.n_nodes
+        if isinstance(self.operator, PoissonOperator):
+            per_elem = 2.0 * q * n * 3 * 2 + q * 15.0
+        else:
+            per_elem = 2.0 * q * n * 9 * 2 + q * 80.0
+        return self.n_local_elements * per_elem
+
+    def stored_bytes(self) -> int:
+        if isinstance(self.operator, PoissonOperator):
+            return self._G.nbytes
+        return self._invJ.nbytes + self._wd.nbytes

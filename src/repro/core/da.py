@@ -1,0 +1,100 @@
+"""Distributed array (DA): the partitioned vector of Fig. 2.
+
+Data is stored per node as ``(n_total_nodes, ndpn)`` in the
+``[pre-ghost | owned | post-ghost]`` layout, so ghost exchange operates on
+contiguous node rows, and the solver sees the owned block as a flat dof
+vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.maps import NodeMaps
+from repro.core.scatter import CommMaps, gather, scatter
+from repro.simmpi.communicator import Communicator
+
+__all__ = ["DistributedArray"]
+
+
+class DistributedArray:
+    """A nodal vector distributed across ranks.
+
+    Attributes
+    ----------
+    data:
+        ``(n_total, ndpn)`` local storage (ghosts + owned).
+    maps:
+        The rank's :class:`~repro.core.maps.NodeMaps`.
+    """
+
+    __slots__ = ("data", "maps", "ndpn")
+
+    def __init__(self, maps: NodeMaps, ndpn: int = 1, data: np.ndarray | None = None):
+        self.maps = maps
+        self.ndpn = ndpn
+        if data is None:
+            data = np.zeros((maps.n_total, ndpn))
+        else:
+            data = np.asarray(data, dtype=np.float64).reshape(maps.n_total, ndpn)
+        self.data = data
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+
+    @property
+    def owned(self) -> np.ndarray:
+        """``(n_owned, ndpn)`` view of the owned block."""
+        return self.data[self.maps.owned_slice]
+
+    @property
+    def owned_flat(self) -> np.ndarray:
+        """Flat dof view of the owned block (shares memory)."""
+        return self.owned.reshape(-1)
+
+    def copy(self) -> "DistributedArray":
+        return DistributedArray(self.maps, self.ndpn, self.data.copy())
+
+    def zero(self) -> "DistributedArray":
+        self.data[:] = 0.0
+        return self
+
+    def zero_ghosts(self) -> "DistributedArray":
+        self.data[: self.maps.n_pre] = 0.0
+        self.data[self.maps.n_pre + self.maps.n_owned :] = 0.0
+        return self
+
+    def set_owned(self, values: np.ndarray) -> "DistributedArray":
+        self.owned[:] = np.asarray(values, dtype=np.float64).reshape(
+            self.maps.n_owned, self.ndpn
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # communication
+    # ------------------------------------------------------------------
+
+    def update_ghosts(self, comm: Communicator, cmaps: CommMaps) -> None:
+        """Blocking owner→ghost scatter (fills ghost copies)."""
+        scatter(comm, self.data, cmaps)
+
+    def accumulate_ghosts(self, comm: Communicator, cmaps: CommMaps) -> None:
+        """Blocking ghost→owner gather (adds ghost partial sums into
+        owners, leaving ghost entries stale)."""
+        gather(comm, self.data, cmaps)
+
+    # ------------------------------------------------------------------
+    # distributed reductions (owned dofs only)
+    # ------------------------------------------------------------------
+
+    def dot(self, other: "DistributedArray", comm: Communicator) -> float:
+        local = float(self.owned_flat @ other.owned_flat)
+        return float(comm.allreduce(local))
+
+    def norm2(self, comm: Communicator) -> float:
+        return float(np.sqrt(self.dot(self, comm)))
+
+    def norm_inf(self, comm: Communicator) -> float:
+        local = float(np.abs(self.owned_flat).max()) if self.owned_flat.size else 0.0
+        return float(comm.allreduce(local, op="max"))

@@ -1,0 +1,164 @@
+"""Communication maps (LNSM / GNGM) and ghost exchange operations.
+
+* **LNSM** (local node scatter map): for each neighbouring rank, which of
+  my *owned* local slots must be sent so the neighbour can fill its ghost
+  copies before an SPMV.
+* **GNGM** (ghost node gather map): the inverse pattern — after the
+  elemental products, my ghost slots hold partial sums belonging to their
+  owners and are shipped back to be accumulated.
+
+Both maps are built once at setup time from a single ``alltoall`` of ghost
+id lists (paper §IV-D) and then drive nonblocking ``isend``/``irecv``
+pairs whose completion the SPMV overlaps with independent-element compute.
+
+The builder takes an arbitrary ghost id list, so the matrix-assembled
+baseline reuses it for its (larger) matrix halo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.maps import NodeMaps
+from repro.simmpi.communicator import Communicator, Request
+from repro.util.arrays import INDEX_DTYPE, as_index
+
+__all__ = [
+    "CommMaps",
+    "build_comm_maps",
+    "scatter_begin",
+    "scatter_end",
+    "gather_begin",
+    "gather_end",
+    "scatter",
+    "gather",
+]
+
+_SCATTER_TAG = 101
+_GATHER_TAG = 102
+
+
+@dataclass
+class CommMaps:
+    """Per-rank communication schedule.
+
+    ``send_ranks[k]`` needs my owned slots ``send_slots[k]`` (LNSM);
+    ``recv_ranks[k]`` owns my ghost slots ``recv_slots[k]`` (GNGM).
+    Slot arrays index into the local ``[pre | owned | post]`` layout.
+    """
+
+    send_ranks: list[int] = field(default_factory=list)
+    send_slots: list[np.ndarray] = field(default_factory=list)
+    recv_ranks: list[int] = field(default_factory=list)
+    recv_slots: list[np.ndarray] = field(default_factory=list)
+
+    @property
+    def n_neighbors(self) -> int:
+        return len(set(self.send_ranks) | set(self.recv_ranks))
+
+    def send_volume(self, ndpn: int = 1, itemsize: int = 8) -> int:
+        """Bytes sent per scatter (== bytes received per gather)."""
+        return sum(s.size for s in self.send_slots) * ndpn * itemsize
+
+
+def build_comm_maps(
+    comm: Communicator,
+    maps: NodeMaps,
+    ghost_ids: np.ndarray | None = None,
+    ranges: np.ndarray | None = None,
+) -> CommMaps:
+    """Construct LNSM/GNGM with one alltoall of ghost id lists.
+
+    Parameters
+    ----------
+    comm:
+        The rank's communicator (all ranks must call this collectively).
+    maps:
+        Node maps of this rank (provides the default ghost list and the
+        global→local slot translation).
+    ghost_ids:
+        Override the ghost id list (the assembled baseline passes its
+        matrix halo here).  Defaults to the union of pre- and post-ghosts.
+    ranges:
+        ``(p, 2)`` owned ranges of all ranks; gathered if not given.
+    """
+    if ghost_ids is None:
+        ghost_ids = np.concatenate([maps.ghost_pre, maps.ghost_post])
+    ghost_ids = np.unique(as_index(ghost_ids))
+
+    if ranges is None:
+        ranges = np.asarray(
+            comm.allgather((maps.n_begin, maps.n_end)), dtype=INDEX_DTYPE
+        )
+    ends = ranges[:, 1]
+    owners = np.searchsorted(ends, ghost_ids, side="right")
+
+    # ship each owner the (sorted) list of its nodes I need
+    wanted: list[np.ndarray | None] = [None] * comm.size
+    for r in np.unique(owners):
+        wanted[int(r)] = ghost_ids[owners == r]
+    requests = comm.alltoall(wanted)
+
+    out = CommMaps()
+    for r, ids in enumerate(requests):
+        if r == comm.rank or ids is None or ids.size == 0:
+            continue
+        out.send_ranks.append(r)
+        out.send_slots.append(maps.global_to_local(ids))
+    for r in np.unique(owners):
+        ids = ghost_ids[owners == r]
+        out.recv_ranks.append(int(r))
+        out.recv_slots.append(maps.global_to_local(ids))
+    return out
+
+
+# ----------------------------------------------------------------------------
+# scatter: owner values -> ghost copies (read halo before SPMV)
+# ----------------------------------------------------------------------------
+
+def scatter_begin(
+    comm: Communicator, data: np.ndarray, cmaps: CommMaps
+) -> list[Request]:
+    """Post the ghost-fill exchange for ``data`` (``(n_total, ndpn)``)."""
+    for rank, slots in zip(cmaps.send_ranks, cmaps.send_slots):
+        comm.isend(data[slots], rank, tag=_SCATTER_TAG)
+    return [comm.irecv(rank, tag=_SCATTER_TAG) for rank in cmaps.recv_ranks]
+
+
+def scatter_end(
+    comm: Communicator, data: np.ndarray, cmaps: CommMaps, reqs: list[Request]
+) -> None:
+    """Complete the ghost fill: copy received owner values into ghosts."""
+    for slots, req in zip(cmaps.recv_slots, reqs):
+        data[slots] = comm.wait(req)
+
+
+def scatter(comm: Communicator, data: np.ndarray, cmaps: CommMaps) -> None:
+    scatter_end(comm, data, cmaps, scatter_begin(comm, data, cmaps))
+
+
+# ----------------------------------------------------------------------------
+# gather: ghost partial sums -> owner accumulation (after SPMV)
+# ----------------------------------------------------------------------------
+
+def gather_begin(
+    comm: Communicator, data: np.ndarray, cmaps: CommMaps
+) -> list[Request]:
+    """Post the reverse exchange shipping ghost contributions to owners."""
+    for rank, slots in zip(cmaps.recv_ranks, cmaps.recv_slots):
+        comm.isend(data[slots], rank, tag=_GATHER_TAG)
+    return [comm.irecv(rank, tag=_GATHER_TAG) for rank in cmaps.send_ranks]
+
+
+def gather_end(
+    comm: Communicator, data: np.ndarray, cmaps: CommMaps, reqs: list[Request]
+) -> None:
+    """Accumulate the received contributions into my owned slots."""
+    for slots, req in zip(cmaps.send_slots, reqs):
+        data[slots] += comm.wait(req)
+
+
+def gather(comm: Communicator, data: np.ndarray, cmaps: CommMaps) -> None:
+    gather_end(comm, data, cmaps, gather_begin(comm, data, cmaps))

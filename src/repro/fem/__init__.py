@@ -1,0 +1,38 @@
+"""FEM substrate: operators, element matrices, loads, BCs, exact solutions.
+
+HYMV treats the element matrices as user input ("adaptive-matrix": the
+library stores whatever ``Ke`` the application provides).  This package is
+the application side: it computes batched element matrices for the two
+operators the paper evaluates — the Poisson (Laplace) operator and linear
+elasticity — plus right-hand sides, Dirichlet-condition helpers and the
+manufactured/analytic solutions used for correctness verification (§V-B).
+"""
+
+from repro.fem.material import IsotropicElasticity
+from repro.fem.operators import (
+    ElasticityOperator,
+    Operator,
+    PoissonOperator,
+)
+from repro.fem.analytic import (
+    bar_body_force,
+    bar_exact_displacement,
+    poisson_exact,
+    poisson_forcing,
+)
+from repro.fem.loads import body_force_rhs_batch, traction_rhs_batch
+from repro.fem.dirichlet import DirichletBC
+
+__all__ = [
+    "IsotropicElasticity",
+    "Operator",
+    "PoissonOperator",
+    "ElasticityOperator",
+    "poisson_exact",
+    "poisson_forcing",
+    "bar_exact_displacement",
+    "bar_body_force",
+    "body_force_rhs_batch",
+    "traction_rhs_batch",
+    "DirichletBC",
+]

@@ -1,0 +1,151 @@
+"""Batched element-matrix kernels.
+
+Everything here is fully vectorized over element batches (``einsum`` over
+``(E, q, n, d)`` arrays): this is the "dense local linear algebra" at the
+heart of HYMV, and also the per-iteration cost of the matrix-free baseline.
+
+Index conventions: ``e`` element, ``q`` quadrature point, ``n/m`` local
+node, ``d/k/i/j`` spatial direction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.element import ElementType
+from repro.mesh.quadrature import QuadratureRule, quadrature_for
+from repro.mesh.shape_functions import ShapeFunctions, shape_functions_for
+from repro.util.arrays import as_f64
+
+__all__ = [
+    "jacobians",
+    "physical_gradients",
+    "poisson_ke_batch",
+    "elasticity_ke_batch",
+    "mass_ke_batch",
+]
+
+
+def jacobians(
+    dN: np.ndarray, coords: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Geometric Jacobians of a batch of elements.
+
+    Parameters
+    ----------
+    dN:
+        ``(q, n, 3)`` reference shape-function gradients.
+    coords:
+        ``(E, n, 3)`` element node coordinates.
+
+    Returns
+    -------
+    ``(J, detJ, invJ)`` with shapes ``(E, q, 3, 3)``, ``(E, q)``,
+    ``(E, q, 3, 3)``.  ``J[d, k] = d x_k / d xi_d``.
+    """
+    J = np.einsum("qnd,enk->eqdk", dN, coords, optimize=True)
+    detJ = np.linalg.det(J)
+    if (detJ <= 0).any():
+        bad = int((detJ <= 0).sum())
+        raise ValueError(
+            f"{bad} quadrature points with non-positive Jacobian "
+            "(inverted or degenerate elements)"
+        )
+    invJ = np.linalg.inv(J)
+    return J, detJ, invJ
+
+
+def physical_gradients(dN: np.ndarray, invJ: np.ndarray) -> np.ndarray:
+    """Physical shape-function gradients ``(E, q, n, 3)``.
+
+    With ``J[d, k] = d x_k / d xi_d`` we have ``d xi_d / d x_k =
+    (J^-1)[k, d]``, hence ``dN_phys[n, k] = dN_ref[n, d] * (J^-1)[k, d]``.
+    """
+    return np.einsum("qnd,eqkd->eqnk", dN, invJ, optimize=True)
+
+
+def _setup(etype: ElementType, quad: QuadratureRule | None):
+    sf = shape_functions_for(etype)
+    if quad is None:
+        quad = quadrature_for(etype)
+    dN = sf.grad(quad.points)
+    return sf, quad, dN
+
+
+def poisson_ke_batch(
+    coords: np.ndarray,
+    etype: ElementType,
+    quad: QuadratureRule | None = None,
+    coefficient=None,
+) -> np.ndarray:
+    """Poisson stiffness matrices ``(E, n, n)`` for ``-div(kappa grad u)``.
+
+    ``Ke[n, m] = sum_q w_q detJ_q kappa(x_q) grad(N_n) . grad(N_m)``;
+    ``coefficient`` is a callable on physical points (default: 1, the
+    Laplace operator).
+    """
+    coords = as_f64(coords)
+    sf, quad, dN = _setup(etype, quad)
+    _, detJ, invJ = jacobians(dN, coords)
+    g = physical_gradients(dN, invJ)
+    wd = quad.weights[None, :] * detJ
+    if coefficient is not None:
+        N = sf.eval(quad.points)
+        xq = np.einsum("qn,enk->eqk", N, coords, optimize=True)
+        kappa = np.asarray(coefficient(xq), dtype=np.float64)
+        wd = wd * kappa.reshape(wd.shape)
+    return np.einsum("eqnk,eqmk,eq->enm", g, g, wd, optimize=True)
+
+
+def elasticity_ke_batch(
+    coords: np.ndarray,
+    etype: ElementType,
+    lam: float,
+    mu: float,
+    quad: QuadratureRule | None = None,
+) -> np.ndarray:
+    """Isotropic linear-elasticity stiffness matrices ``(E, 3n, 3n)``.
+
+    DOF ordering is node-major: dof ``3 n + i`` is component ``i`` of node
+    ``n``.  The kernel is the standard index form
+
+    ``Ke[(n,i),(m,j)] = ∫ lam g_n,i g_m,j + mu g_n,j g_m,i
+    + mu delta_ij (g_n . g_m)``.
+    """
+    coords = as_f64(coords)
+    sf, quad, dN = _setup(etype, quad)
+    _, detJ, invJ = jacobians(dN, coords)
+    g = physical_gradients(dN, invJ)
+    wd = quad.weights[None, :] * detJ
+    E, _, n, _ = g.shape
+
+    term_lam = lam * np.einsum("eqni,eqmj,eq->enimj", g, g, wd, optimize=True)
+    term_mu = mu * np.einsum("eqnj,eqmi,eq->enimj", g, g, wd, optimize=True)
+    ke = term_lam + term_mu
+    # add mu * delta_ij (g_n . g_m) on the i == j diagonal
+    gdot = mu * np.einsum("eqnk,eqmk,eq->enm", g, g, wd, optimize=True)
+    for i in range(3):
+        ke[:, :, i, :, i] += gdot
+    return ke.reshape(E, 3 * n, 3 * n)
+
+
+def mass_ke_batch(
+    coords: np.ndarray,
+    etype: ElementType,
+    quad: QuadratureRule | None = None,
+    ndpn: int = 1,
+) -> np.ndarray:
+    """Consistent mass matrices ``(E, ndpn*n, ndpn*n)`` (unit density)."""
+    coords = as_f64(coords)
+    sf, quad, dN = _setup(etype, quad)
+    N = sf.eval(quad.points)
+    _, detJ, _ = jacobians(dN, coords)
+    wd = quad.weights[None, :] * detJ
+    m = np.einsum("qn,qm,eq->enm", N, N, wd, optimize=True)
+    if ndpn == 1:
+        return m
+    E, n, _ = m.shape
+    out = np.zeros((E, n, ndpn, n, ndpn))
+    for i in range(ndpn):
+        out[:, :, i, :, i] = m
+    return out.reshape(E, ndpn * n, ndpn * n)

@@ -1,0 +1,30 @@
+"""Material models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IsotropicElasticity:
+    """Linear isotropic elasticity.
+
+    Parameters match the paper's hanging-bar verification problem
+    (Timoshenko & Goodier): Young's modulus ``E``, Poisson's ratio ``nu``,
+    density ``rho``, gravitational acceleration ``g``.
+    """
+
+    E: float = 1.0
+    nu: float = 0.3
+    rho: float = 1.0
+    g: float = 1.0
+
+    @property
+    def lam(self) -> float:
+        """First Lamé parameter."""
+        return self.E * self.nu / ((1.0 + self.nu) * (1.0 - 2.0 * self.nu))
+
+    @property
+    def mu(self) -> float:
+        """Shear modulus (second Lamé parameter)."""
+        return self.E / (2.0 * (1.0 + self.nu))

@@ -1,0 +1,101 @@
+"""PDE operators: the application-side providers of element matrices.
+
+An :class:`Operator` is what HYMV's setup phase calls to obtain element
+matrices, what the matrix-free baseline calls *every* SPMV, and what the
+matrix-assembled baseline calls once before global assembly.  It also
+carries flop estimates used by the throughput analysis (Table I, Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fem.elemmat import elasticity_ke_batch, poisson_ke_batch
+from repro.fem.material import IsotropicElasticity
+from repro.mesh.element import ElementType
+from repro.mesh.quadrature import QuadratureRule, quadrature_for
+
+
+@dataclass(frozen=True)
+class Operator:
+    """Base operator interface.
+
+    Subclasses implement :meth:`element_matrices`; ``ndpn`` is the number
+    of degrees of freedom per mesh node.
+    """
+
+    ndpn: int = 1
+
+    def element_matrices(
+        self, coords: np.ndarray, etype: ElementType
+    ) -> np.ndarray:
+        """Batched element matrices ``(E, ndpn*n, ndpn*n)``."""
+        raise NotImplementedError
+
+    def element_dofs(self, etype: ElementType) -> int:
+        return self.ndpn * etype.n_nodes
+
+    # ---- cost accounting (used by perfmodel / Table I) -----------------
+
+    def ke_flops(self, etype: ElementType) -> float:
+        """Estimated flops of an efficient element-matrix computation.
+
+        Hexes pay the full quadrature loop (jacobians, inversions,
+        physical gradients, stiffness contraction per point).  Straight-
+        sided tets are affine — one Jacobian per element and the
+        quadrature sum collapses into a volume factor — which is how
+        optimized FEM codes (and the paper's) compute them.
+        """
+        n = etype.n_nodes
+        if etype.is_tet:
+            # straight-sided tets are affine: TET4 needs one point, TET10
+            # a degree-2 rule over its linear gradients
+            q = 1 if n == 4 else 4
+        else:
+            q = quadrature_for(etype).n_points
+        jac = 2.0 * q * n * 9  # J = dN^T X
+        inv = q * 60.0  # 3x3 det + inverse
+        grad = 2.0 * q * n * 9  # dN_phys
+        if self.ndpn == 1:
+            stiff = 2.0 * q * n * n * 3
+        else:
+            stiff = 3.0 * (2.0 * q * n * n * 9) + 2.0 * q * n * n * 3
+        return jac + inv + grad + stiff
+
+    def emv_flops(self, etype: ElementType) -> float:
+        """Flops of one dense elemental matrix-vector product."""
+        nd = self.element_dofs(etype)
+        return 2.0 * nd * nd
+
+
+@dataclass(frozen=True)
+class PoissonOperator(Operator):
+    """Diffusion operator ``-div(kappa grad u)``.
+
+    ``coefficient`` is an optional callable on physical points giving the
+    (scalar) diffusivity ``kappa(x)``; None means the Laplace operator of
+    the paper's verification problem.
+    """
+
+    ndpn: int = 1
+    quad: QuadratureRule | None = None
+    coefficient: object = None
+
+    def element_matrices(self, coords, etype):
+        return poisson_ke_batch(coords, etype, self.quad, self.coefficient)
+
+
+@dataclass(frozen=True)
+class ElasticityOperator(Operator):
+    """Isotropic linear elasticity (3 dofs per node)."""
+
+    ndpn: int = 3
+    material: IsotropicElasticity = field(default_factory=IsotropicElasticity)
+    quad: QuadratureRule | None = None
+
+    def element_matrices(self, coords, etype):
+        return elasticity_ke_batch(
+            coords, etype, self.material.lam, self.material.mu, self.quad
+        )

@@ -1,0 +1,28 @@
+"""Simulated GPU backend (Algorithm 3).
+
+The paper's GPU is an NVIDIA Quadro RTX 5000 driven through MAGMA batched
+kernels and CUDA streams.  Here the device is simulated: the batched EMV
+math runs in NumPy (bit-comparable to the CPU path, so every correctness
+test covers the GPU code path too), while *timing* comes from the
+calibrated :class:`repro.perfmodel.machine.GpuModel` through an explicit
+three-engine stream scheduler (H2D copy engine, compute engine, D2H copy
+engine) that reproduces the copy/kernel overlap of the paper's Fig. 3.
+
+Components:
+
+* :mod:`repro.gpu.streams` — the stream pipeline scheduler; produces the
+  per-chunk event timeline and makespan.
+* :mod:`repro.gpu.hymv_gpu` — ``HymvGpuOperator`` (Alg. 3, with the three
+  overlap schemes of §V-D) and ``AssembledGpuOperator`` (the PETSc-GPU /
+  cuSPARSE substitute); both plug into the solve/bench drivers.
+"""
+
+from repro.gpu.streams import StreamEvent, StreamScheduler
+from repro.gpu.hymv_gpu import AssembledGpuOperator, HymvGpuOperator
+
+__all__ = [
+    "StreamEvent",
+    "StreamScheduler",
+    "HymvGpuOperator",
+    "AssembledGpuOperator",
+]

@@ -1,0 +1,217 @@
+"""GPU operators: HYMV-GPU (Algorithm 3) and the PETSc-GPU substitute.
+
+Numerics run in NumPy (identical results to the CPU operators — covered
+by the same equality tests); virtual time advances by *modeled* device
+durations from the calibrated GPU model, so the emulated GPU experiments
+are consistent with the Frontera-scale model tier.
+
+Overlap schemes (paper §V-D):
+
+* ``"gpu"`` — blocking MPI, all elements batched on the device.
+* ``"gpu_cpu_overlap"`` — nonblocking MPI overlapped with the device
+  pipeline of independent elements; dependent elements on the host CPU.
+* ``"gpu_gpu_overlap"`` — nonblocking MPI overlapped with the device
+  pipeline; dependent elements in a second device batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.da import DistributedArray
+from repro.core.hymv import HymvOperator
+from repro.core.kernels import (
+    accumulate_element_vectors,
+    gather_element_vectors,
+)
+from repro.core.scatter import (
+    gather_begin,
+    gather_end,
+    scatter,
+    scatter_begin,
+    scatter_end,
+)
+from repro.baselines.assembled import AssembledOperator
+from repro.gpu.streams import StreamScheduler
+from repro.perfmodel.machine import FRONTERA, GPU_NODE, FronteraMachine, GpuModel
+
+__all__ = ["HymvGpuOperator", "AssembledGpuOperator"]
+
+
+class HymvGpuOperator(HymvOperator):
+    """Algorithm 3: batched EMV on the (simulated) device.
+
+    Extra setup cost: the one-time element-matrix H2D transfer.  Per
+    SPMV: host-side ``bue`` assembly, the chunked stream pipeline
+    (H2D of ``bue``, batched kernel, D2H of ``bve``), host-side ``bve``
+    accumulation, and the ghost exchange per the selected scheme.
+    """
+
+    def __init__(
+        self,
+        comm,
+        lmesh,
+        operator,
+        ranges=None,
+        kernel: str = "einsum",
+        n_streams: int = 8,
+        scheme: str = "gpu_gpu_overlap",
+        gpu: GpuModel = GPU_NODE,
+        machine: FronteraMachine = FRONTERA,
+        threads: int = 4,
+    ):
+        super().__init__(comm, lmesh, operator, ranges=ranges, kernel=kernel)
+        if scheme not in ("gpu", "gpu_cpu_overlap", "gpu_gpu_overlap"):
+            raise ValueError(f"unknown GPU scheme {scheme!r}")
+        self.n_streams = n_streams
+        self.scheme = scheme
+        self.gpu = gpu
+        self.machine = machine
+        self.threads = threads
+        self.last_timeline: StreamScheduler | None = None
+        # one-time element-matrix transfer to the device
+        t_h2d = self.ke.nbytes / (gpu.setup_h2d_gbps * 1e9)
+        comm.advance(t_h2d, "setup.ke_h2d")
+
+    # -- device-side sweep -------------------------------------------------
+
+    def _host_rate(self) -> float:
+        r = self.machine.rates
+        eff = self.threads * r.omp_efficiency if self.threads > 1 else 1.0
+        return r.rhs_gather_gbps * 1e9 * eff
+
+    def _device_sweep(
+        self, u: DistributedArray, v: DistributedArray, sl: slice
+    ) -> float:
+        """Run one batched EMV on the device; returns modeled duration."""
+        idx = self.e2l_dofs[sl]
+        if idx.shape[0] == 0:
+            return 0.0
+        ke = self.ke[sl]
+        uf = u.data.reshape(-1)
+        vf = v.data.reshape(-1)
+        # host: build bue (pinned staging buffer), Alg. 3 line 3
+        ue = gather_element_vectors(uf, idx)
+        t_host = ue.nbytes / self._host_rate()
+        # device: chunked pipeline
+        sched = StreamScheduler(gpu=self.gpu, n_streams=self.n_streams)
+        E, nd = ue.shape
+        t_pipe = sched.run_batch(
+            h2d_bytes=ue.nbytes,
+            kernel_flops=2.0 * E * nd * nd,
+            kernel_bytes=ke.nbytes,
+            d2h_bytes=ue.nbytes,
+        )
+        self.last_timeline = sched
+        ve = self.kernel(ke, ue)  # the actual math (device-equivalent)
+        # host: accumulate bve, Alg. 3 line 8
+        accumulate_element_vectors(vf, idx, ve)
+        t_host += ve.nbytes / self._host_rate()
+        return t_host + t_pipe
+
+    def spmv(
+        self,
+        u: DistributedArray,
+        v: DistributedArray,
+        overlap: bool | None = None,
+    ) -> DistributedArray:
+        comm = self.comm
+        t0 = comm.vtime
+        v.data[:] = 0.0
+        scheme = self.scheme
+        if overlap is not None:  # the base-class flag maps onto schemes
+            scheme = "gpu_gpu_overlap" if overlap else scheme
+        if scheme == "gpu":
+            scatter(comm, u.data, self.cmaps)
+            comm.advance(self._device_sweep(u, v, self._sl_all), "spmv.gpu")
+        elif scheme == "gpu_gpu_overlap":
+            reqs = scatter_begin(comm, u.data, self.cmaps)
+            comm.advance(
+                self._device_sweep(u, v, self._sl_indep), "spmv.gpu_indep"
+            )
+            scatter_end(comm, u.data, self.cmaps, reqs)
+            comm.advance(
+                self._device_sweep(u, v, self._sl_dep), "spmv.gpu_dep"
+            )
+        else:  # gpu_cpu_overlap: dependent elements on the host CPU
+            reqs = scatter_begin(comm, u.data, self.cmaps)
+            comm.advance(
+                self._device_sweep(u, v, self._sl_indep), "spmv.gpu_indep"
+            )
+            scatter_end(comm, u.data, self.cmaps, reqs)
+            t_cpu = self._cpu_sweep(u, v, self._sl_dep)
+            comm.advance(t_cpu, "spmv.cpu_dep")
+        greqs = gather_begin(comm, v.data, self.cmaps)
+        gather_end(comm, v.data, self.cmaps, greqs)
+        comm.timing.add("spmv.total", comm.vtime - t0)
+        self.spmv_count += 1
+        return v
+
+    def _cpu_sweep(
+        self, u: DistributedArray, v: DistributedArray, sl: slice
+    ) -> float:
+        """Host EMV of a subset; returns modeled CPU duration."""
+        idx = self.e2l_dofs[sl]
+        if idx.shape[0] == 0:
+            return 0.0
+        ke = self.ke[sl]
+        ue = gather_element_vectors(u.data.reshape(-1), idx)
+        ve = self.kernel(ke, ue)
+        accumulate_element_vectors(v.data.reshape(-1), idx, ve)
+        r = self.machine.rates
+        eff = self.threads * r.omp_efficiency if self.threads > 1 else 1.0
+        flops = 2.0 * ue.shape[0] * ue.shape[1] ** 2
+        return flops / (r.emv_gflops * 1e9 * eff)
+
+
+class AssembledGpuOperator(AssembledOperator):
+    """PETSc-GPU substitute: CSR SPMV timed by the cuSPARSE model.
+
+    Setup adds the CSR H2D transfer and analysis pass; each SPMV pays the
+    device kernel (bandwidth model) plus host-staged halo movement over
+    PCIe around the MPI exchange.
+    """
+
+    def __init__(
+        self,
+        comm,
+        lmesh,
+        operator,
+        ranges=None,
+        gpu: GpuModel = GPU_NODE,
+    ):
+        super().__init__(comm, lmesh, operator, ranges=ranges)
+        self.gpu = gpu
+        csr_bytes = self.stored_bytes()
+        comm.advance(
+            csr_bytes / (gpu.setup_h2d_gbps * 1e9) + self.nnz * 2.0e-9,
+            "setup.csr_h2d",
+        )
+
+    def apply_owned(self, x: np.ndarray) -> np.ndarray:
+        comm = self.comm
+        t0 = comm.vtime
+        if not hasattr(self, "_work_u"):
+            self._work_u = self.new_array()
+        u = self._work_u
+        u.set_owned(x)
+        # halo staged through the host: D2H of owned boundary values,
+        # MPI exchange, H2D of received ghosts
+        ghost_bytes = sum(s.size for s in self.cmaps.recv_slots) * self.ndpn * 8.0
+        comm.advance(ghost_bytes / (self.gpu.pcie_gbps * 1e9), "spmv.halo_d2h")
+        scatter(comm, u.data, self.cmaps)
+        comm.advance(ghost_bytes / (self.gpu.pcie_gbps * 1e9), "spmv.halo_h2d")
+        npre = self.maps.n_pre * self.ndpn
+        y = self.A_diag @ u.owned_flat
+        if self.A_pre.shape[1]:
+            y += self.A_pre @ u.data.reshape(-1)[:npre]
+        if self.A_post.shape[1]:
+            y += self.A_post @ u.data.reshape(-1)[npre + self.n_dofs_owned:]
+        csr_bytes = self.stored_bytes() + y.nbytes * 2
+        comm.advance(
+            csr_bytes / (self.gpu.csr_gbps * 1e9) + self.gpu.kernel_launch_s,
+            "spmv.cusparse",
+        )
+        comm.timing.add("spmv.total", comm.vtime - t0)
+        self.spmv_count += 1
+        return y

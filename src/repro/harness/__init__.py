@@ -1,0 +1,18 @@
+"""Experiment harness: one module per paper table/figure.
+
+:mod:`repro.harness.driver` provides the two SPMD rank programs every
+experiment builds on — a setup + N×SPMV micro-benchmark (Figs. 4–9,
+Table I) and a full CG solve (Fig. 11) — plus result aggregation.
+
+``python -m repro.harness`` regenerates every table and figure; see
+:mod:`repro.harness.registry`.
+"""
+
+from repro.harness.driver import (
+    BenchResult,
+    SolveOutcome,
+    run_bench,
+    run_solve,
+)
+
+__all__ = ["BenchResult", "SolveOutcome", "run_bench", "run_solve"]

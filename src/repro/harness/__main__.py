@@ -1,0 +1,48 @@
+"""Regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.harness                 # everything, small scale
+    python -m repro.harness fig7 fig10      # a subset
+    python -m repro.harness --scale paper   # paper-scale modeled series
+    python -m repro.harness --out results/  # also write one .txt per exp
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.harness.registry import EXPERIMENTS, run_experiment
+from repro.util.tables import render_many
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Reproduce the paper's tables and figures",
+    )
+    ap.add_argument(
+        "experiments", nargs="*", default=[],
+        help=f"subset to run (default: all of {sorted(EXPERIMENTS)})",
+    )
+    ap.add_argument("--scale", choices=["small", "paper"], default="small")
+    ap.add_argument("--out", type=pathlib.Path, default=None)
+    args = ap.parse_args(argv)
+
+    names = args.experiments or sorted(EXPERIMENTS)
+    if args.out:
+        args.out.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        tables = run_experiment(name, args.scale)
+        text = render_many(tables)
+        print(f"\n{'=' * 72}\n# {name}\n{'=' * 72}")
+        print(text)
+        if args.out:
+            (args.out / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

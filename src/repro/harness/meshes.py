@@ -1,0 +1,43 @@
+"""Mesh sizing helpers for the emulated experiment tier.
+
+The emulation runs the real algorithms at laptop scale: the paper's
+granularities (11.3K–33.5K dofs per rank over up to 28,672 ranks) are
+scaled down to ``dofs_per_rank`` over ``p <= 16`` ranks while keeping the
+weak/strong protocol identical.
+"""
+
+from __future__ import annotations
+
+from repro.fem.operators import Operator
+from repro.mesh.element import ElementType
+
+__all__ = ["box_dims_for_dofs"]
+
+_NODES_PER_ELEM = {
+    ElementType.HEX8: 1.0,
+    ElementType.HEX20: 4.0,
+    ElementType.HEX27: 8.0,
+    ElementType.TET4: 1.0 / 6.0,
+    ElementType.TET10: 4.0 / 3.0,
+}
+
+
+def box_dims_for_dofs(
+    etype: ElementType,
+    operator: Operator,
+    total_dofs: float,
+    min_side: int = 2,
+) -> tuple[int, int, int]:
+    """Box element counts giving approximately ``total_dofs`` dofs.
+
+    For tet meshes the returned dimensions are those of the *underlying
+    hex grid* handed to :func:`repro.mesh.box_tet_mesh`.
+    """
+    nodes = total_dofs / operator.ndpn
+    elements = nodes / _NODES_PER_ELEM[etype]
+    if etype.is_tet:
+        elements /= 6.0  # hexes in the underlying grid
+    side = max(min_side, round(elements ** (1.0 / 3.0)))
+    # stretch z to hit the target count more closely
+    nz = max(min_side, round(elements / (side * side)))
+    return side, side, nz

@@ -1,0 +1,50 @@
+"""Registry of every table/figure reproduction."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.harness import (
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    memory,
+    table1,
+    verification,
+)
+from repro.util.tables import ResultTable
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+
+EXPERIMENTS: dict[str, Callable[[str], list[ResultTable]]] = {
+    "fig3": fig03.run,
+    "fig4": fig04.run,
+    "fig5": fig05.run,
+    "fig6": fig06.run,
+    "fig7": fig07.run,
+    "fig8": fig08.run,
+    "fig9": fig09.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "table1": table1.run,
+    "memory": memory.run,
+    "verification": verification.run,
+}
+
+
+def run_experiment(name: str, scale: str = "small") -> list[ResultTable]:
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[name](scale)
+
+
+def run_all(scale: str = "small") -> dict[str, list[ResultTable]]:
+    return {name: fn(scale) for name, fn in EXPERIMENTS.items()}

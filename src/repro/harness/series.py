@@ -1,0 +1,118 @@
+"""Shared builders for the scalability experiments (Figs. 4–7).
+
+Each figure combines two tiers:
+
+* **emulated** — the real distributed algorithms at laptop scale through
+  :func:`repro.harness.driver.run_bench` (small rank counts, scaled-down
+  granularity, measured compute + modeled communication), and
+* **modeled** — the calibrated Frontera model at the paper's core counts
+  (:mod:`repro.perfmodel.scaling`).
+"""
+
+from __future__ import annotations
+
+from repro.fem.operators import Operator
+from repro.harness.driver import run_bench
+from repro.harness.meshes import box_dims_for_dofs
+from repro.mesh.element import ElementType
+from repro.perfmodel.scaling import strong_scaling_series, weak_scaling_series
+from repro.problems import elastic_bar_problem, poisson_problem
+from repro.util.tables import ResultTable
+
+__all__ = [
+    "emulated_scaling_table",
+    "modeled_scaling_table",
+    "make_spec",
+]
+
+
+def make_spec(
+    problem: str,
+    etype: ElementType,
+    operator: Operator,
+    total_dofs: float,
+    n_parts: int,
+    unstructured: bool = False,
+):
+    dims = box_dims_for_dofs(etype, operator, total_dofs)
+    if problem == "poisson":
+        return poisson_problem(dims, n_parts, etype)
+    return elastic_bar_problem(
+        dims, n_parts, etype, unstructured=unstructured
+    )
+
+
+def emulated_scaling_table(
+    title: str,
+    problem: str,
+    etype: ElementType,
+    operator: Operator,
+    methods: list[str],
+    mode: str,  # "weak" | "strong"
+    p_list: list[int],
+    dofs_per_rank: float | None = None,
+    total_dofs: float | None = None,
+    n_spmv: int = 10,
+    unstructured: bool = False,
+    breakdown: bool = False,
+) -> ResultTable:
+    cols = ["ranks", "dofs", "method", "setup_s", "spmv10_s"]
+    if breakdown:
+        cols += ["emat_s", "overhead_s"]
+    table = ResultTable(title, cols)
+    for p in p_list:
+        dofs = dofs_per_rank * p if mode == "weak" else total_dofs
+        spec = make_spec(
+            problem, etype, operator, dofs, p, unstructured=unstructured
+        )
+        for method in methods:
+            b = run_bench(spec, method, n_spmv=n_spmv)
+            row = [p, spec.n_dofs, method, b.setup_time, b.spmv_time]
+            if breakdown:
+                emat = b.breakdown.get("setup.emat_compute", 0.0)
+                over = b.setup_time - emat
+                row += [emat, over]
+            table.add_row(*row)
+    return table
+
+
+def modeled_scaling_table(
+    title: str,
+    etype: ElementType,
+    operator: Operator,
+    methods: list[str],
+    mode: str,
+    core_counts: list[int],
+    dofs_per_rank: float | None = None,
+    total_dofs: float | None = None,
+    structured: bool = True,
+    threads: int = 1,
+    n_spmv: int = 10,
+    labels: dict[str, str] | None = None,
+) -> ResultTable:
+    labels = labels or {}
+    table = ResultTable(
+        title,
+        ["cores", "method", "setup_s", "spmv10_s", "emat_s", "overhead_s"],
+    )
+    if mode == "weak":
+        series = weak_scaling_series(
+            methods, core_counts, dofs_per_rank, etype, operator,
+            structured=structured, threads=threads, n_spmv=n_spmv,
+        )
+    else:
+        series = strong_scaling_series(
+            methods, core_counts, total_dofs, etype, operator,
+            structured=structured, threads=threads, n_spmv=n_spmv,
+        )
+    for m in methods:
+        for pt in series[m]:
+            table.add_row(
+                pt.cores,
+                labels.get(m, m),
+                pt.setup_time,
+                pt.spmv_time,
+                pt.emat_time,
+                pt.overhead_time,
+            )
+    return table

@@ -1,0 +1,90 @@
+"""Numerical quadrature on the reference elements.
+
+Hexes use tensor-product Gauss–Legendre rules; tetrahedra use the conical
+(collapsed-coordinate) product rule built from Gauss–Legendre and
+Gauss–Jacobi component rules, which is exact for total degree ``2n - 1``
+with ``n^3`` points and has strictly positive weights.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import roots_jacobi, roots_legendre
+
+from repro.mesh.element import ElementType
+
+__all__ = ["QuadratureRule", "quadrature_for", "hex_rule", "tet_rule"]
+
+
+@dataclass(frozen=True)
+class QuadratureRule:
+    """Points and weights on a reference element.
+
+    ``weights`` sum to the reference-element measure (8 for the hex,
+    1/6 for the unit tet).
+    """
+
+    points: np.ndarray  # (q, 3)
+    weights: np.ndarray  # (q,)
+    degree: int  # total polynomial degree integrated exactly
+
+    @property
+    def n_points(self) -> int:
+        return self.points.shape[0]
+
+
+def _gauss_01(n: int, alpha: int) -> tuple[np.ndarray, np.ndarray]:
+    """Gauss rule on [0, 1] for weight ``(1 - t)^alpha``."""
+    if alpha == 0:
+        x, w = roots_legendre(n)
+    else:
+        x, w = roots_jacobi(n, alpha, 0.0)
+    t = 0.5 * (x + 1.0)
+    w01 = w / (2.0 ** (alpha + 1))
+    return t, w01
+
+
+@functools.lru_cache(maxsize=None)
+def hex_rule(n: int) -> QuadratureRule:
+    """``n^3``-point tensor Gauss rule on ``[-1, 1]^3`` (degree ``2n - 1``)."""
+    x, w = roots_legendre(n)
+    X, Y, Z = np.meshgrid(x, x, x, indexing="ij")
+    WX, WY, WZ = np.meshgrid(w, w, w, indexing="ij")
+    pts = np.stack([X.ravel(), Y.ravel(), Z.ravel()], axis=1)
+    wts = (WX * WY * WZ).ravel()
+    return QuadratureRule(pts, wts, degree=2 * n - 1)
+
+
+@functools.lru_cache(maxsize=None)
+def tet_rule(n: int) -> QuadratureRule:
+    """Conical product rule on the unit tet (degree ``2n - 1``).
+
+    Uses the Duffy-style collapse ``x = a (1-b)(1-c), y = b (1-c), z = c``
+    whose Jacobian ``(1-b)(1-c)^2`` is absorbed into Gauss–Jacobi weights.
+    """
+    ta, wa = _gauss_01(n, alpha=0)
+    tb, wb = _gauss_01(n, alpha=1)
+    tc, wc = _gauss_01(n, alpha=2)
+    A, B, C = np.meshgrid(ta, tb, tc, indexing="ij")
+    WA, WB, WC = np.meshgrid(wa, wb, wc, indexing="ij")
+    z = C
+    y = B * (1.0 - C)
+    x = A * (1.0 - B) * (1.0 - C)
+    pts = np.stack([x.ravel(), y.ravel(), z.ravel()], axis=1)
+    wts = (WA * WB * WC).ravel()
+    return QuadratureRule(pts, wts, degree=2 * n - 1)
+
+
+def quadrature_for(etype: ElementType, degree: int | None = None) -> QuadratureRule:
+    """Quadrature rule for ``etype`` exact to total ``degree``.
+
+    With ``degree=None`` the element's default stiffness-matrix degree is
+    used (2 points/direction for linear elements, 3 for quadratic).
+    """
+    if degree is None:
+        degree = etype.default_quadrature_degree
+    n = max(1, (degree + 2) // 2)  # 2n - 1 >= degree
+    return hex_rule(n) if etype.is_hex else tet_rule(n)

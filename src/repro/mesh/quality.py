@@ -1,0 +1,78 @@
+"""Element quality metrics.
+
+Used to validate generated/jittered/refined meshes (a bad element ruins
+an SPMV benchmark silently) and by the adaptive examples to keep Rivara
+cascades honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+from repro.mesh.quadrature import quadrature_for
+from repro.mesh.shape_functions import shape_functions_for
+
+__all__ = ["QualityReport", "mesh_quality", "scaled_jacobians"]
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Summary of a mesh's element quality."""
+
+    min_scaled_jacobian: float
+    mean_scaled_jacobian: float
+    max_aspect_ratio: float
+    n_inverted: int
+
+    @property
+    def ok(self) -> bool:
+        return self.n_inverted == 0 and self.min_scaled_jacobian > 1e-6
+
+
+def scaled_jacobians(mesh: Mesh) -> np.ndarray:
+    """Per-element scaled Jacobian: min over quadrature points of
+    ``detJ`` normalized by the element's mean ``detJ`` (1.0 for affine
+    elements, → 0 as an element degenerates, < 0 when inverted)."""
+    sf = shape_functions_for(mesh.etype)
+    quad = quadrature_for(mesh.etype)
+    dN = sf.grad(quad.points)
+    coords = mesh.coords[mesh.conn]
+    J = np.einsum("qnd,enk->eqdk", dN, coords, optimize=True)
+    detJ = np.linalg.det(J)
+    mean = np.abs(detJ).mean(axis=1)
+    mean = np.where(mean > 0, mean, 1.0)
+    return detJ.min(axis=1) / mean
+
+
+def _aspect_ratios(mesh: Mesh) -> np.ndarray:
+    """Longest/shortest corner-edge length per element."""
+    nc = mesh.etype.corner_count
+    c = mesh.coords[mesh.conn[:, :nc]]
+    if mesh.etype.is_hex:
+        pairs = [(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (5, 6), (6, 7),
+                 (7, 4), (0, 4), (1, 5), (2, 6), (3, 7)]
+    else:
+        pairs = [(0, 1), (1, 2), (0, 2), (0, 3), (1, 3), (2, 3)]
+    lengths = np.stack(
+        [np.linalg.norm(c[:, a] - c[:, b], axis=1) for a, b in pairs], axis=1
+    )
+    return lengths.max(axis=1) / lengths.min(axis=1)
+
+
+def mesh_quality(mesh: Mesh) -> QualityReport:
+    """Compute the quality report of ``mesh``.
+
+    Unlike :func:`repro.fem.elemmat.jacobians` (which raises on inverted
+    elements), this tolerates and counts them.
+    """
+    sj = scaled_jacobians(mesh)
+    ar = _aspect_ratios(mesh)
+    return QualityReport(
+        min_scaled_jacobian=float(sj.min()),
+        mean_scaled_jacobian=float(sj.mean()),
+        max_aspect_ratio=float(ar.max()),
+        n_inverted=int((sj <= 0).sum()),
+    )

@@ -1,0 +1,149 @@
+"""Uniform mesh refinement.
+
+Supports convergence studies (the paper's §V-B protocol "subsequently
+doubled the elements in all directions") on arbitrary — not only box —
+meshes: each Hex8 splits into 8 children through edge/face/centre points,
+each Tet4 into 8 children via the red (regular) subdivision.  Quadratic
+meshes are refined on their corner skeleton and re-promoted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.element import ElementType, HEX_EDGES, HEX_FACES, TET_EDGES
+from repro.mesh.mesh import Mesh
+from repro.mesh.unstructured import _unique_rows, promote_mesh
+from repro.util.arrays import INDEX_DTYPE
+
+__all__ = ["refine_uniform"]
+
+
+def refine_uniform(mesh: Mesh, levels: int = 1) -> Mesh:
+    """Refine ``mesh`` uniformly ``levels`` times (8x elements per level)."""
+    if levels < 0:
+        raise ValueError("levels must be >= 0")
+    out = mesh
+    for _ in range(levels):
+        out = _refine_once(out)
+    return out
+
+
+def _refine_once(mesh: Mesh) -> Mesh:
+    quad_target = None
+    work = mesh
+    if mesh.etype is ElementType.TET10:
+        work = _corner_skeleton(mesh, ElementType.TET4, 4)
+        quad_target = ElementType.TET10
+    elif mesh.etype in (ElementType.HEX20, ElementType.HEX27):
+        quad_target = mesh.etype
+        work = _corner_skeleton(mesh, ElementType.HEX8, 8)
+
+    if work.etype is ElementType.HEX8:
+        fine = _refine_hex8(work)
+    elif work.etype is ElementType.TET4:
+        fine = _refine_tet4(work)
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"cannot refine {work.etype}")
+
+    if quad_target is not None:
+        fine = promote_mesh(fine, quad_target)
+    return fine
+
+
+def _corner_skeleton(mesh: Mesh, linear: ElementType, nc: int) -> Mesh:
+    """Linear mesh over the corner nodes of a quadratic mesh."""
+    corner_conn = mesh.conn[:, :nc]
+    used = np.unique(corner_conn)
+    remap = np.full(mesh.n_nodes, -1, dtype=INDEX_DTYPE)
+    remap[used] = np.arange(used.size, dtype=INDEX_DTYPE)
+    return Mesh(mesh.coords[used], remap[corner_conn], linear)
+
+
+def _midside_ids(mesh: Mesh, tuples, width: int):
+    """Unique mid-entity node ids/coords for edge/face/cell tuples."""
+    keys = np.sort(
+        np.stack([mesh.conn[:, list(t)] for t in tuples], axis=1).reshape(
+            -1, width
+        ),
+        axis=1,
+    )
+    uniq, inverse = _unique_rows(keys)
+    coords = mesh.coords[uniq].mean(axis=1)
+    ids = inverse.reshape(mesh.n_elements, len(tuples))
+    return coords, ids
+
+
+def _refine_hex8(mesh: Mesh) -> Mesh:
+    E = mesh.n_elements
+    ecoords, eids = _midside_ids(mesh, HEX_EDGES, 2)
+    fcoords, fids = _midside_ids(mesh, HEX_FACES, 4)
+    ccoords = mesh.coords[mesh.conn].mean(axis=1)
+
+    n0 = mesh.n_nodes
+    n1 = n0 + ecoords.shape[0]
+    n2 = n1 + fcoords.shape[0]
+    coords = np.vstack([mesh.coords, ecoords, fcoords, ccoords])
+
+    # node id lookup per (element, lattice position): build the 3x3x3
+    # lattice of each hex: corners, edge mids, face mids, centre
+    lat = np.empty((E, 3, 3, 3), dtype=INDEX_DTYPE)
+    corner_pos = {  # HEX8 local order -> lattice (i, j, k)
+        0: (0, 0, 0), 1: (2, 0, 0), 2: (2, 2, 0), 3: (0, 2, 0),
+        4: (0, 0, 2), 5: (2, 0, 2), 6: (2, 2, 2), 7: (0, 2, 2),
+    }
+    for c, (i, j, k) in corner_pos.items():
+        lat[:, i, j, k] = mesh.conn[:, c]
+    for e, (a, b) in enumerate(HEX_EDGES):
+        pa, pb = corner_pos[a], corner_pos[b]
+        mid = tuple((x + y) // 2 for x, y in zip(pa, pb))
+        lat[:, mid[0], mid[1], mid[2]] = n0 + eids[:, e]
+    for f, face in enumerate(HEX_FACES):
+        pos = np.array([corner_pos[c] for c in face])
+        mid = tuple(int(round(v)) for v in pos.mean(axis=0))
+        lat[:, mid[0], mid[1], mid[2]] = n1 + fids[:, f]
+    lat[:, 1, 1, 1] = n2 + np.arange(E, dtype=INDEX_DTYPE)
+
+    conn = np.empty((E, 8, 8), dtype=INDEX_DTYPE)
+    child = 0
+    for ck in (0, 1):
+        for cj in (0, 1):
+            for ci in (0, 1):
+                for c, (i, j, k) in corner_pos.items():
+                    conn[:, child, c] = lat[
+                        :, ci + i // 2, cj + j // 2, ck + k // 2
+                    ]
+                child += 1
+    return Mesh(coords, conn.reshape(8 * E, 8), ElementType.HEX8)
+
+
+def _refine_tet4(mesh: Mesh) -> Mesh:
+    """Red refinement: 4 corner children + 4 interior children around the
+    shortest interior diagonal of the inner octahedron."""
+    E = mesh.n_elements
+    ecoords, eids = _midside_ids(mesh, TET_EDGES, 2)
+    coords = np.vstack([mesh.coords, ecoords])
+    m = mesh.n_nodes + eids  # (E, 6) midpoint ids, TET_EDGES order
+    v = mesh.conn
+    # edge order: (0,1) (1,2) (0,2) (0,3) (1,3) (2,3)
+    m01, m12, m02, m03, m13, m23 = (m[:, i] for i in range(6))
+    children = [
+        # corner tets
+        (v[:, 0], m01, m02, m03),
+        (m01, v[:, 1], m12, m13),
+        (m02, m12, v[:, 2], m23),
+        (m03, m13, m23, v[:, 3]),
+        # octahedron split along diagonal m01-m23
+        (m01, m12, m02, m23),
+        (m01, m12, m23, m13),
+        (m01, m02, m03, m23),
+        (m01, m23, m03, m13),
+    ]
+    conn = np.stack([np.stack(c, axis=1) for c in children], axis=1)
+    conn = conn.reshape(8 * E, 4)
+    # fix orientation: children from the diagonal split can be inverted
+    c = coords[conn]
+    vol = np.linalg.det(c[:, 1:4] - c[:, 0:1])
+    flip = vol < 0
+    conn[flip] = conn[flip][:, [0, 2, 1, 3]]
+    return Mesh(coords, conn, ElementType.TET4)

@@ -1,0 +1,273 @@
+"""Reference-element shape functions and gradients.
+
+Bases implemented (see :mod:`repro.mesh.element` for node orderings):
+
+* ``HEX8``  — trilinear tensor Lagrange on ``[-1, 1]^3``.
+* ``HEX27`` — triquadratic tensor Lagrange on ``[-1, 1]^3``.
+* ``HEX20`` — serendipity quadratic on ``[-1, 1]^3``.
+* ``TET4``  — linear barycentric on the unit tetrahedron.
+* ``TET10`` — quadratic barycentric on the unit tetrahedron.
+
+All bases satisfy the Kronecker property ``N_i(x_j) = delta_ij``, partition
+of unity and (through quadratic order where applicable) polynomial
+reproduction; these are enforced by the test suite.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from repro.mesh.element import ElementType, HEX_EDGES, HEX_FACES, TET_EDGES
+from repro.util.arrays import as_f64
+
+__all__ = ["ShapeFunctions", "shape_functions_for", "reference_nodes"]
+
+
+class ShapeFunctions:
+    """Shape-function basis of one element type.
+
+    Attributes
+    ----------
+    etype:
+        The element type.
+    nodes:
+        ``(n_nodes, 3)`` reference coordinates of the nodes.
+    """
+
+    def __init__(self, etype: ElementType, nodes: np.ndarray, eval_fn, grad_fn):
+        self.etype = etype
+        self.nodes = as_f64(nodes)
+        self._eval = eval_fn
+        self._grad = grad_fn
+
+    @property
+    def n_nodes(self) -> int:
+        return self.nodes.shape[0]
+
+    def eval(self, pts: np.ndarray) -> np.ndarray:
+        """Evaluate all shape functions at points ``pts`` → ``(q, n)``."""
+        pts = np.atleast_2d(as_f64(pts))
+        return self._eval(pts)
+
+    def grad(self, pts: np.ndarray) -> np.ndarray:
+        """Reference gradients at ``pts`` → ``(q, n, 3)``."""
+        pts = np.atleast_2d(as_f64(pts))
+        return self._grad(pts)
+
+
+# ----------------------------------------------------------------------------
+# reference node coordinates
+# ----------------------------------------------------------------------------
+
+_HEX8_CORNERS = np.array(
+    [
+        [-1, -1, -1], [1, -1, -1], [1, 1, -1], [-1, 1, -1],
+        [-1, -1, 1], [1, -1, 1], [1, 1, 1], [-1, 1, 1],
+    ],
+    dtype=np.float64,
+)
+
+_TET4_CORNERS = np.array(
+    [[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]], dtype=np.float64
+)
+
+
+def reference_nodes(etype: ElementType) -> np.ndarray:
+    """``(n_nodes, 3)`` reference coordinates in the library node order."""
+    if etype is ElementType.HEX8:
+        return _HEX8_CORNERS.copy()
+    if etype in (ElementType.HEX20, ElementType.HEX27):
+        edges = np.array(
+            [(_HEX8_CORNERS[a] + _HEX8_CORNERS[b]) / 2 for a, b in HEX_EDGES]
+        )
+        nodes = np.vstack([_HEX8_CORNERS, edges])
+        if etype is ElementType.HEX27:
+            faces = np.array(
+                [_HEX8_CORNERS[list(f)].mean(axis=0) for f in HEX_FACES]
+            )
+            nodes = np.vstack([nodes, faces, np.zeros((1, 3))])
+        return nodes
+    if etype is ElementType.TET4:
+        return _TET4_CORNERS.copy()
+    if etype is ElementType.TET10:
+        edges = np.array(
+            [(_TET4_CORNERS[a] + _TET4_CORNERS[b]) / 2 for a, b in TET_EDGES]
+        )
+        return np.vstack([_TET4_CORNERS, edges])
+    raise ValueError(f"unsupported element type: {etype}")
+
+
+# ----------------------------------------------------------------------------
+# tensor-product Lagrange hexes (HEX8, HEX27)
+# ----------------------------------------------------------------------------
+
+def _lagrange_1d(order: int):
+    """1-D Lagrange basis values/derivatives keyed by node coordinate."""
+    if order == 1:
+        def val(a, x):
+            return 0.5 * (1.0 + a * x)
+
+        def der(a, x):
+            return np.full_like(x, 0.5 * a)
+
+    elif order == 2:
+        def val(a, x):
+            if a == 0.0:
+                return 1.0 - x * x
+            return 0.5 * x * (x + a)
+
+        def der(a, x):
+            if a == 0.0:
+                return -2.0 * x
+            return x + 0.5 * a
+
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unsupported 1-D order {order}")
+    return val, der
+
+
+def _tensor_hex(etype: ElementType, order: int):
+    nodes = reference_nodes(etype)
+    val, der = _lagrange_1d(order)
+
+    def eval_fn(pts: np.ndarray) -> np.ndarray:
+        q = pts.shape[0]
+        out = np.empty((q, nodes.shape[0]))
+        for i, (a, b, c) in enumerate(nodes):
+            out[:, i] = val(a, pts[:, 0]) * val(b, pts[:, 1]) * val(c, pts[:, 2])
+        return out
+
+    def grad_fn(pts: np.ndarray) -> np.ndarray:
+        q = pts.shape[0]
+        out = np.empty((q, nodes.shape[0], 3))
+        for i, (a, b, c) in enumerate(nodes):
+            fx, fy, fz = val(a, pts[:, 0]), val(b, pts[:, 1]), val(c, pts[:, 2])
+            out[:, i, 0] = der(a, pts[:, 0]) * fy * fz
+            out[:, i, 1] = fx * der(b, pts[:, 1]) * fz
+            out[:, i, 2] = fx * fy * der(c, pts[:, 2])
+        return out
+
+    return ShapeFunctions(etype, nodes, eval_fn, grad_fn)
+
+
+# ----------------------------------------------------------------------------
+# serendipity HEX20
+# ----------------------------------------------------------------------------
+
+def _hex20():
+    nodes = reference_nodes(ElementType.HEX20)
+
+    def eval_fn(pts: np.ndarray) -> np.ndarray:
+        x, y, z = pts[:, 0], pts[:, 1], pts[:, 2]
+        out = np.empty((pts.shape[0], 20))
+        for i, (a, b, c) in enumerate(nodes):
+            if i < 8:  # corners
+                out[:, i] = (
+                    0.125
+                    * (1 + a * x) * (1 + b * y) * (1 + c * z)
+                    * (a * x + b * y + c * z - 2.0)
+                )
+            elif a == 0.0:  # edge parallel to xi
+                out[:, i] = 0.25 * (1 - x * x) * (1 + b * y) * (1 + c * z)
+            elif b == 0.0:  # edge parallel to eta
+                out[:, i] = 0.25 * (1 + a * x) * (1 - y * y) * (1 + c * z)
+            else:  # edge parallel to zeta
+                out[:, i] = 0.25 * (1 + a * x) * (1 + b * y) * (1 - z * z)
+        return out
+
+    def grad_fn(pts: np.ndarray) -> np.ndarray:
+        x, y, z = pts[:, 0], pts[:, 1], pts[:, 2]
+        out = np.empty((pts.shape[0], 20, 3))
+        for i, (a, b, c) in enumerate(nodes):
+            if i < 8:
+                fx, fy, fz = 1 + a * x, 1 + b * y, 1 + c * z
+                s = a * x + b * y + c * z
+                out[:, i, 0] = 0.125 * a * fy * fz * (2 * a * x + b * y + c * z - 1)
+                out[:, i, 1] = 0.125 * b * fx * fz * (a * x + 2 * b * y + c * z - 1)
+                out[:, i, 2] = 0.125 * c * fx * fy * (a * x + b * y + 2 * c * z - 1)
+                del s
+            elif a == 0.0:
+                out[:, i, 0] = -0.5 * x * (1 + b * y) * (1 + c * z)
+                out[:, i, 1] = 0.25 * (1 - x * x) * b * (1 + c * z)
+                out[:, i, 2] = 0.25 * (1 - x * x) * (1 + b * y) * c
+            elif b == 0.0:
+                out[:, i, 0] = 0.25 * a * (1 - y * y) * (1 + c * z)
+                out[:, i, 1] = -0.5 * y * (1 + a * x) * (1 + c * z)
+                out[:, i, 2] = 0.25 * (1 + a * x) * (1 - y * y) * c
+            else:
+                out[:, i, 0] = 0.25 * a * (1 + b * y) * (1 - z * z)
+                out[:, i, 1] = 0.25 * (1 + a * x) * b * (1 - z * z)
+                out[:, i, 2] = -0.5 * z * (1 + a * x) * (1 + b * y)
+        return out
+
+    return ShapeFunctions(ElementType.HEX20, nodes, eval_fn, grad_fn)
+
+
+# ----------------------------------------------------------------------------
+# barycentric tets (TET4, TET10)
+# ----------------------------------------------------------------------------
+
+_GRAD_L = np.array(
+    [[-1.0, -1.0, -1.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]]
+)
+
+
+def _bary(pts: np.ndarray) -> np.ndarray:
+    """Barycentric coordinates ``(q, 4)`` of points in the unit tet."""
+    x, y, z = pts[:, 0], pts[:, 1], pts[:, 2]
+    return np.stack([1.0 - x - y - z, x, y, z], axis=1)
+
+
+def _tet4():
+    nodes = reference_nodes(ElementType.TET4)
+
+    def eval_fn(pts):
+        return _bary(pts)
+
+    def grad_fn(pts):
+        return np.broadcast_to(_GRAD_L[None, :, :], (pts.shape[0], 4, 3)).copy()
+
+    return ShapeFunctions(ElementType.TET4, nodes, eval_fn, grad_fn)
+
+
+def _tet10():
+    nodes = reference_nodes(ElementType.TET10)
+
+    def eval_fn(pts):
+        L = _bary(pts)
+        out = np.empty((pts.shape[0], 10))
+        out[:, :4] = L * (2.0 * L - 1.0)
+        for k, (i, j) in enumerate(TET_EDGES):
+            out[:, 4 + k] = 4.0 * L[:, i] * L[:, j]
+        return out
+
+    def grad_fn(pts):
+        L = _bary(pts)
+        out = np.empty((pts.shape[0], 10, 3))
+        for i in range(4):
+            out[:, i, :] = (4.0 * L[:, i, None] - 1.0) * _GRAD_L[i]
+        for k, (i, j) in enumerate(TET_EDGES):
+            out[:, 4 + k, :] = 4.0 * (
+                L[:, j, None] * _GRAD_L[i] + L[:, i, None] * _GRAD_L[j]
+            )
+        return out
+
+    return ShapeFunctions(ElementType.TET10, nodes, eval_fn, grad_fn)
+
+
+@functools.lru_cache(maxsize=None)
+def shape_functions_for(etype: ElementType) -> ShapeFunctions:
+    """Return the (cached) shape-function basis for ``etype``."""
+    if etype is ElementType.HEX8:
+        return _tensor_hex(etype, order=1)
+    if etype is ElementType.HEX27:
+        return _tensor_hex(etype, order=2)
+    if etype is ElementType.HEX20:
+        return _hex20()
+    if etype is ElementType.TET4:
+        return _tet4()
+    if etype is ElementType.TET10:
+        return _tet10()
+    raise ValueError(f"unsupported element type: {etype}")

@@ -1,0 +1,215 @@
+"""Unstructured meshes — the Gmsh substitute.
+
+The paper generates unstructured tetrahedral (Tet10) and hexahedral (Hex27)
+meshes with Gmsh.  We reproduce the *properties that matter for the
+experiments* — irregular connectivity, irregular partition boundaries, and
+non-uniform element geometry — by:
+
+* Freudenthal (Kuhn) 6-tet subdivision of a structured hex grid, which
+  yields a conforming tetrahedral mesh, followed by
+* random jitter of interior vertices, and
+* promotion to quadratic elements by inserting unique mid-edge (and face /
+  centre) nodes.
+
+These meshes are then partitioned with the graph partitioner
+(:mod:`repro.partition.graph`), giving the irregular sparsity and
+communication patterns that drive Figs. 7, 9 and 11.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.element import (
+    ElementType,
+    HEX_EDGES,
+    HEX_FACES,
+    TET_EDGES,
+)
+from repro.mesh.mesh import Mesh
+from repro.mesh.structured import box_hex_mesh
+from repro.util.arrays import INDEX_DTYPE
+
+__all__ = [
+    "box_tet_mesh",
+    "jittered_hex_mesh",
+    "jitter_interior_nodes",
+    "promote_mesh",
+]
+
+# The six permutations of (x, y, z) axes, with parity, defining the Kuhn
+# subdivision of the unit cube.  Every tet is (c000, c_a, c_ab, c111) for an
+# axis path a, then b; odd permutations are reordered for positive volume.
+_PERMS = (
+    ((0, 1, 2), 0),
+    ((0, 2, 1), 1),
+    ((1, 0, 2), 1),
+    ((1, 2, 0), 0),
+    ((2, 0, 1), 0),
+    ((2, 1, 0), 1),
+)
+
+
+def _corner_bits(axes: tuple[int, int, int]) -> tuple[int, int, int, int]:
+    """Corner ids (bit-coded i + 2j + 4k) along the axis path."""
+    c = [0, 0, 0]
+    ids = [0]
+    for ax in axes:
+        c[ax] = 1
+        ids.append(c[0] + 2 * c[1] + 4 * c[2])
+    return tuple(ids)
+
+
+def _unique_rows(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(unique_rows, inverse) for a 2-D integer key array."""
+    view = np.ascontiguousarray(keys).view(
+        [("", keys.dtype)] * keys.shape[1]
+    ).reshape(-1)
+    _, first, inverse = np.unique(view, return_index=True, return_inverse=True)
+    return keys[first], inverse
+
+
+def jitter_interior_nodes(
+    mesh: Mesh, amount: float, seed: int = 0
+) -> Mesh:
+    """Randomly displace interior nodes by up to ``amount`` of the local
+    spacing (estimated from the shortest element edge)."""
+    if amount <= 0:
+        return mesh
+    rng = np.random.default_rng(seed)
+    coords = mesh.coords.copy()
+    interior = np.ones(mesh.n_nodes, dtype=bool)
+    interior[mesh.boundary_nodes()] = False
+    # per-axis local spacing, estimated from the first element's extent
+    c = mesh.coords[mesh.conn[0, : mesh.etype.corner_count]]
+    h = c.max(axis=0) - c.min(axis=0)
+    disp = rng.uniform(-0.5, 0.5, size=(int(interior.sum()), 3)) * amount * h
+    coords[interior] += disp
+    return Mesh(coords, mesh.conn.copy(), mesh.etype)
+
+
+def _tetrahedralize(hex_mesh: Mesh) -> Mesh:
+    """Split each Hex8 into 6 conforming, positively-oriented tets."""
+    if hex_mesh.etype is not ElementType.HEX8:
+        raise ValueError("tetrahedralization expects a HEX8 mesh")
+    conn = hex_mesh.conn
+    # map corner bit-code (i + 2j + 4k) to our HEX8 local ordering
+    bit_to_local = np.array([0, 1, 3, 2, 4, 5, 7, 6], dtype=INDEX_DTYPE)
+    tets = []
+    for axes, parity in _PERMS:
+        bits = _corner_bits(axes)
+        locs = bit_to_local[list(bits)]
+        t = conn[:, locs]
+        if parity:  # restore positive orientation
+            t = t[:, [0, 2, 1, 3]]
+        tets.append(t)
+    tet_conn = np.concatenate(tets, axis=0)
+    # interleave so the 6 tets of each hex are consecutive (better locality)
+    E = conn.shape[0]
+    order = (np.arange(6 * E).reshape(6, E).T).reshape(-1)
+    return Mesh(hex_mesh.coords, tet_conn[order], ElementType.TET4)
+
+
+def promote_mesh(mesh: Mesh, target: ElementType) -> Mesh:
+    """Promote a linear mesh to a quadratic one by inserting unique
+    mid-edge (and, for HEX27, face-centre and cell-centre) nodes.
+
+    Supported promotions: HEX8→HEX20, HEX8→HEX27, TET4→TET10.
+    """
+    pairs = {
+        (ElementType.HEX8, ElementType.HEX20): HEX_EDGES,
+        (ElementType.HEX8, ElementType.HEX27): HEX_EDGES,
+        (ElementType.TET4, ElementType.TET10): TET_EDGES,
+    }
+    key = (mesh.etype, target)
+    if key not in pairs:
+        raise ValueError(f"unsupported promotion {mesh.etype} -> {target}")
+    edges = pairs[key]
+    E = mesh.n_elements
+    coords = [mesh.coords]
+    conn_parts = [mesh.conn]
+    next_id = mesh.n_nodes
+
+    edge_keys = np.sort(
+        np.stack(
+            [mesh.conn[:, [a, b]] for a, b in edges], axis=1
+        ).reshape(-1, 2),
+        axis=1,
+    )
+    uniq, inverse = _unique_rows(edge_keys)
+    coords.append(mesh.coords[uniq].mean(axis=1))
+    conn_parts.append(
+        (next_id + inverse).reshape(E, len(edges)).astype(INDEX_DTYPE)
+    )
+    next_id += uniq.shape[0]
+
+    if target is ElementType.HEX27:
+        face_keys = np.sort(
+            np.stack(
+                [mesh.conn[:, list(f)] for f in HEX_FACES], axis=1
+            ).reshape(-1, 4),
+            axis=1,
+        )
+        fu, finv = _unique_rows(face_keys)
+        coords.append(mesh.coords[fu].mean(axis=1))
+        conn_parts.append(
+            (next_id + finv).reshape(E, len(HEX_FACES)).astype(INDEX_DTYPE)
+        )
+        next_id += fu.shape[0]
+        coords.append(mesh.coords[mesh.conn].mean(axis=1))
+        conn_parts.append(
+            (next_id + np.arange(E, dtype=INDEX_DTYPE)).reshape(E, 1)
+        )
+
+    return Mesh(
+        np.vstack(coords), np.concatenate(conn_parts, axis=1), target
+    )
+
+
+def box_tet_mesh(
+    nx: int,
+    ny: int,
+    nz: int,
+    etype: ElementType = ElementType.TET4,
+    lengths: tuple[float, float, float] = (1.0, 1.0, 1.0),
+    origin: tuple[float, float, float] = (0.0, 0.0, 0.0),
+    jitter: float = 0.25,
+    seed: int = 0,
+) -> Mesh:
+    """Unstructured tetrahedral box mesh (``6 * nx * ny * nz`` tets).
+
+    ``jitter`` perturbs interior vertices by that fraction of the grid
+    spacing, breaking the structured geometry; ``jitter=0`` gives a regular
+    Kuhn triangulation.
+    """
+    if etype not in (ElementType.TET4, ElementType.TET10):
+        raise ValueError("box_tet_mesh builds TET4 or TET10 meshes")
+    hexes = box_hex_mesh(nx, ny, nz, ElementType.HEX8, lengths, origin)
+    tets = _tetrahedralize(hexes)
+    tets = jitter_interior_nodes(tets, jitter, seed)
+    if etype is ElementType.TET10:
+        tets = promote_mesh(tets, ElementType.TET10)
+    return tets
+
+
+def jittered_hex_mesh(
+    nx: int,
+    ny: int,
+    nz: int,
+    etype: ElementType,
+    lengths: tuple[float, float, float] = (1.0, 1.0, 1.0),
+    origin: tuple[float, float, float] = (0.0, 0.0, 0.0),
+    jitter: float = 0.2,
+    seed: int = 0,
+) -> Mesh:
+    """Geometrically irregular hex mesh (HEX8/HEX20/HEX27).
+
+    Interior vertices of the underlying linear grid are jittered, then the
+    mesh is promoted to the requested quadratic type, so mid-edge / face /
+    centre nodes stay consistent with the perturbed geometry.
+    """
+    base = box_hex_mesh(nx, ny, nz, ElementType.HEX8, lengths, origin)
+    base = jitter_interior_nodes(base, jitter, seed)
+    if etype is ElementType.HEX8:
+        return base
+    return promote_mesh(base, etype)

@@ -1,0 +1,25 @@
+"""Mesh partitioning substrate (METIS substitute).
+
+Turns a global :class:`repro.mesh.Mesh` into the per-rank inputs HYMV
+requires (paper §IV-A): local element lists, the E2G map, and contiguous
+owned-node ranges ``[N_begin, N_end)`` per rank.
+
+Three partitioners are provided:
+
+* :func:`repro.partition.slab.slab_partition` — z-slab decomposition (the
+  paper's verification setup),
+* :func:`repro.partition.rcb.rcb_partition` — recursive coordinate
+  bisection,
+* :func:`repro.partition.graph.graph_partition` — greedy graph growing with
+  boundary refinement on the element dual graph (our METIS stand-in, used
+  for the unstructured-mesh experiments).
+"""
+
+from repro.partition.interface import (
+    LocalMesh,
+    Partition,
+    build_partition,
+)
+from repro.partition.metrics import partition_metrics
+
+__all__ = ["LocalMesh", "Partition", "build_partition", "partition_metrics"]

@@ -1,0 +1,200 @@
+"""Partitioned-mesh interface: exactly the inputs HYMV consumes.
+
+Per the paper (§IV-A), HYMV is mesh-structure agnostic and requires, per
+partition *i*:
+
+* the number of local elements ``|w_i|``,
+* the **E2G map** — local element index → global node indices,
+* the owned-node range ``[N_begin, N_end)`` (contiguous global ids).
+
+:func:`build_partition` derives all of this from a global mesh and an
+element→part assignment: node ownership (a node is owned by the lowest part
+that touches it), a global renumbering making each part's owned nodes
+contiguous, and per-rank :class:`LocalMesh` views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mesh.element import ElementType
+from repro.mesh.mesh import Mesh
+from repro.partition.graph import graph_partition
+from repro.partition.rcb import rcb_partition
+from repro.partition.slab import slab_partition
+from repro.util.arrays import INDEX_DTYPE, as_index, inverse_permutation
+
+__all__ = ["LocalMesh", "Partition", "build_partition"]
+
+_METHODS = {
+    "slab": slab_partition,
+    "rcb": rcb_partition,
+    "graph": graph_partition,
+}
+
+
+@dataclass
+class LocalMesh:
+    """The per-rank mesh view handed to HYMV and the baselines.
+
+    Attributes
+    ----------
+    rank:
+        Owning partition index.
+    etype:
+        Element type.
+    elements:
+        ``(E_local,)`` global element ids (for adaptive updates).
+    e2g:
+        ``(E_local, n_nodes_per_elem)`` global node ids (renumbered).
+    coords:
+        ``(E_local, n_nodes_per_elem, 3)`` element node coordinates.
+    n_begin, n_end:
+        Half-open owned-node range in the renumbered global ids.
+    """
+
+    rank: int
+    etype: ElementType
+    elements: np.ndarray
+    e2g: np.ndarray
+    coords: np.ndarray
+    n_begin: int
+    n_end: int
+
+    @property
+    def n_local_elements(self) -> int:
+        return self.e2g.shape[0]
+
+    @property
+    def n_owned(self) -> int:
+        return self.n_end - self.n_begin
+
+
+@dataclass
+class Partition:
+    """A partitioned mesh: global view + per-rank local meshes."""
+
+    mesh: Mesh
+    n_parts: int
+    elem_part: np.ndarray  # (E,) part of each element
+    node_owner: np.ndarray  # (N,) owning part of each node (old ids)
+    new_of_old: np.ndarray  # old node id -> renumbered id
+    old_of_new: np.ndarray  # renumbered id -> old node id
+    ranges: np.ndarray  # (p, 2) half-open owned ranges, renumbered ids
+    locals_: list[LocalMesh] = field(default_factory=list)
+
+    @property
+    def n_nodes(self) -> int:
+        return self.mesh.n_nodes
+
+    def local(self, rank: int) -> LocalMesh:
+        return self.locals_[rank]
+
+    def owned_global_ids(self, rank: int) -> np.ndarray:
+        """Renumbered global ids of the nodes owned by ``rank``."""
+        b, e = self.ranges[rank]
+        return np.arange(b, e, dtype=INDEX_DTYPE)
+
+    def owned_coords(self, rank: int) -> np.ndarray:
+        """Coordinates of the nodes owned by ``rank`` (renumbered order)."""
+        b, e = self.ranges[rank]
+        return self.mesh.coords[self.old_of_new[b:e]]
+
+    def coords_by_new_id(self) -> np.ndarray:
+        """``(N, 3)`` coordinates indexed by renumbered node id."""
+        return self.mesh.coords[self.old_of_new]
+
+    def boundary_nodes_new(self) -> np.ndarray:
+        """Domain-boundary nodes in renumbered ids (sorted)."""
+        return np.sort(self.new_of_old[self.mesh.boundary_nodes()])
+
+    def owner_of_new(self, new_ids: np.ndarray) -> np.ndarray:
+        """Owning rank of renumbered node ids (via the range table)."""
+        return (
+            np.searchsorted(self.ranges[:, 1], as_index(new_ids), side="right")
+        ).astype(INDEX_DTYPE)
+
+    def to_mesh_order(self, values_new: np.ndarray, ndpn: int = 1) -> np.ndarray:
+        """Convert a (gathered) dof vector from renumbered order back to
+        the original mesh's node order — e.g. the concatenated owned
+        blocks from ``run_solve(..., return_solution=True)``, ready for
+        :func:`repro.util.vtk.write_vtk`."""
+        values_new = np.asarray(values_new, dtype=np.float64).reshape(
+            self.n_nodes, ndpn
+        )
+        out = np.empty_like(values_new)
+        out[self.old_of_new] = values_new
+        return out if ndpn > 1 else out[:, 0]
+
+
+def build_partition(
+    mesh: Mesh,
+    n_parts: int,
+    method: str = "graph",
+    **kwargs,
+) -> Partition:
+    """Partition ``mesh`` into ``n_parts`` and build per-rank local meshes.
+
+    ``method`` is one of ``"slab"``, ``"rcb"``, ``"graph"``.
+    """
+    if method not in _METHODS:
+        raise ValueError(f"unknown partition method {method!r}")
+    elem_part = as_index(_METHODS[method](mesh, n_parts, **kwargs))
+    return partition_from_elem_part(mesh, n_parts, elem_part)
+
+
+def partition_from_elem_part(
+    mesh: Mesh, n_parts: int, elem_part: np.ndarray
+) -> Partition:
+    """Build a :class:`Partition` from an explicit element→part array."""
+    elem_part = as_index(elem_part)
+    if elem_part.shape != (mesh.n_elements,):
+        raise ValueError("elem_part must have one entry per element")
+    if elem_part.size and (elem_part.min() < 0 or elem_part.max() >= n_parts):
+        raise ValueError("elem_part entries out of range")
+
+    # node ownership: lowest part among adjacent elements
+    node_owner = np.full(mesh.n_nodes, n_parts, dtype=INDEX_DTYPE)
+    flat_nodes = mesh.conn.reshape(-1)
+    flat_parts = np.repeat(elem_part, mesh.etype.n_nodes)
+    np.minimum.at(node_owner, flat_nodes, flat_parts)
+    if (node_owner == n_parts).any():
+        raise ValueError("mesh has nodes not referenced by any element")
+
+    # contiguous renumbering: stable sort by owner keeps intra-part order
+    order = np.argsort(node_owner, kind="stable")  # new id -> old id
+    old_of_new = as_index(order)
+    new_of_old = inverse_permutation(old_of_new)
+
+    counts = np.bincount(node_owner, minlength=n_parts)
+    ends = np.cumsum(counts)
+    begins = ends - counts
+    ranges = np.stack([begins, ends], axis=1).astype(INDEX_DTYPE)
+
+    part = Partition(
+        mesh=mesh,
+        n_parts=n_parts,
+        elem_part=elem_part,
+        node_owner=node_owner,
+        new_of_old=new_of_old,
+        old_of_new=old_of_new,
+        ranges=ranges,
+    )
+
+    e2g_all = new_of_old[mesh.conn]
+    for rank in range(n_parts):
+        elems = np.flatnonzero(elem_part == rank).astype(INDEX_DTYPE)
+        part.locals_.append(
+            LocalMesh(
+                rank=rank,
+                etype=mesh.etype,
+                elements=elems,
+                e2g=e2g_all[elems],
+                coords=mesh.coords[mesh.conn[elems]],
+                n_begin=int(ranges[rank, 0]),
+                n_end=int(ranges[rank, 1]),
+            )
+        )
+    return part

@@ -1,0 +1,57 @@
+"""Partition-quality metrics (balance, edge cut, ghost counts)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.partition.interface import Partition
+
+__all__ = ["PartitionMetrics", "partition_metrics"]
+
+
+@dataclass(frozen=True)
+class PartitionMetrics:
+    """Summary quality numbers of a partition."""
+
+    element_imbalance: float  # max part size / mean part size
+    node_imbalance: float  # max owned nodes / mean owned nodes
+    edge_cut: int  # dual-graph edges crossing parts
+    edge_cut_fraction: float
+    ghost_nodes: np.ndarray  # (p,) ghost-node count per rank
+    shared_nodes: int  # nodes touched by more than one part
+
+
+def partition_metrics(part: Partition) -> PartitionMetrics:
+    mesh = part.mesh
+    p = part.n_parts
+
+    esizes = np.bincount(part.elem_part, minlength=p)
+    nsizes = part.ranges[:, 1] - part.ranges[:, 0]
+
+    edges = mesh.dual_graph_edges()
+    if edges.size:
+        cross = part.elem_part[edges[:, 0]] != part.elem_part[edges[:, 1]]
+        cut = int(cross.sum())
+        cut_frac = cut / edges.shape[0]
+    else:
+        cut, cut_frac = 0, 0.0
+
+    ghosts = np.zeros(p, dtype=np.int64)
+    shared_mask = np.zeros(mesh.n_nodes, dtype=bool)
+    for rank in range(p):
+        lm = part.local(rank)
+        ids = np.unique(lm.e2g)
+        ghost = ids[(ids < lm.n_begin) | (ids >= lm.n_end)]
+        ghosts[rank] = ghost.size
+        shared_mask[part.old_of_new[ghost]] = True
+
+    return PartitionMetrics(
+        element_imbalance=float(esizes.max() / max(esizes.mean(), 1e-300)),
+        node_imbalance=float(nsizes.max() / max(nsizes.mean(), 1e-300)),
+        edge_cut=cut,
+        edge_cut_fraction=cut_frac,
+        ghost_nodes=ghosts,
+        shared_nodes=int(shared_mask.sum()),
+    )

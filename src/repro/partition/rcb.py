@@ -1,0 +1,48 @@
+"""Recursive coordinate bisection of element centroids."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+from repro.util.arrays import INDEX_DTYPE
+
+__all__ = ["rcb_partition"]
+
+
+def rcb_partition(mesh: Mesh, n_parts: int) -> np.ndarray:
+    """Recursive coordinate bisection.
+
+    At each level the current element set is split along its longest
+    bounding-box axis at the weighted median, with child part counts
+    proportional to the split (so any ``n_parts`` is supported, not just
+    powers of two).
+    """
+    if n_parts < 1:
+        raise ValueError("n_parts must be >= 1")
+    centroids = mesh.element_centroids()
+    part = np.zeros(mesh.n_elements, dtype=INDEX_DTYPE)
+    _rcb(centroids, np.arange(mesh.n_elements, dtype=INDEX_DTYPE), 0, n_parts, part)
+    return part
+
+
+def _rcb(
+    centroids: np.ndarray,
+    elems: np.ndarray,
+    first_part: int,
+    n_parts: int,
+    out: np.ndarray,
+) -> None:
+    if n_parts == 1:
+        out[elems] = first_part
+        return
+    pts = centroids[elems]
+    extent = pts.max(axis=0) - pts.min(axis=0)
+    axis = int(np.argmax(extent))
+    left_parts = n_parts // 2
+    # split at the position proportional to left_parts / n_parts
+    k = int(round(elems.size * left_parts / n_parts))
+    k = min(max(k, 1), elems.size - 1)
+    order = np.argsort(pts[:, axis], kind="stable")
+    _rcb(centroids, elems[order[:k]], first_part, left_parts, out)
+    _rcb(centroids, elems[order[k:]], first_part + left_parts, n_parts - left_parts, out)

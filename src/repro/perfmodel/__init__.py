@@ -1,0 +1,42 @@
+"""Analytic performance model — the Frontera-scale tier.
+
+The emulation tier (:mod:`repro.simmpi`) runs the real algorithms at small
+rank counts.  This package extrapolates to the paper's scales (56–28,672
+cores, multi-GPU nodes) with a calibrated cost model:
+
+* :mod:`repro.perfmodel.machine` — Frontera Cascade Lake node and Quadro
+  RTX 5000 GPU constants.  Per-core *effective* rates for each operation
+  class are calibrated from the paper's own measurements (Table I flop
+  rates, Fig. 10 roofline, Fig. 4/8 absolute times) — documented per
+  constant.
+* :mod:`repro.perfmodel.counters` — flop/byte counters per method.
+* :mod:`repro.perfmodel.costs` — per-phase time estimates (setup, SPMV,
+  communication) for HYMV, matrix-assembled, matrix-free, and the GPU
+  variants.
+* :mod:`repro.perfmodel.scaling` — weak/strong scaling series used by the
+  figure harnesses.
+* :mod:`repro.perfmodel.roofline` — Fig. 10 (AI, GFLOP/s) placement.
+"""
+
+from repro.perfmodel.machine import FRONTERA, GPU_NODE, FronteraMachine, GpuModel
+from repro.perfmodel.counters import MethodCounters, spmv_counters
+from repro.perfmodel.costs import (
+    CaseGeometry,
+    method_setup_time,
+    method_spmv_time,
+)
+from repro.perfmodel.scaling import strong_scaling_series, weak_scaling_series
+
+__all__ = [
+    "FRONTERA",
+    "GPU_NODE",
+    "FronteraMachine",
+    "GpuModel",
+    "MethodCounters",
+    "spmv_counters",
+    "CaseGeometry",
+    "method_setup_time",
+    "method_spmv_time",
+    "weak_scaling_series",
+    "strong_scaling_series",
+]

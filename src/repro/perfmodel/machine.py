@@ -1,0 +1,148 @@
+"""Machine constants for TACC Frontera (the paper's testbed).
+
+Every effective rate is calibrated against a number the paper itself
+reports; the provenance is given inline.  These are *effective end-to-end
+rates* (what the operation achieves inside the full code path), not
+peaks — which is why they sit far below the roofline ceilings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simmpi.network import NetworkModel
+
+__all__ = ["CoreRates", "FronteraMachine", "GpuModel", "FRONTERA", "GPU_NODE"]
+
+
+@dataclass(frozen=True)
+class CoreRates:
+    """Effective per-core rates of one Cascade Lake core.
+
+    Calibration sources (Table I uses 20-node hex elasticity at 56
+    processes per node):
+
+    * ``emat_gflops`` — matrix-free SPMV achieves 303 GFLOP/s on one node
+      (Table I) ⇒ ≈ 5.4 GFLOP/s per core for elemental-assembly compute.
+    * ``emv_gflops`` — HYMV SPMV achieves 44.7 GFLOP/s per node (Table I)
+      ⇒ ≈ 0.8 GFLOP/s per core for the batched dense EMV sweep
+      (bandwidth-bound: streaming stored element matrices).
+    * ``csr_gflops`` — assembled SPMV achieves 24.1 GFLOP/s per node
+      (Table I) ⇒ ≈ 0.43 GFLOP/s per core for CSR with irregular access.
+    * ``emat_setup_gflops`` — the *one-time* element-matrix computation in
+      the setup phase runs colder than the matrix-free hot loop
+      (allocation, first-touch): Fig. 5a shows HYMV setup ≈ 0.25 s at
+      33.5K DoFs/rank hex8 elasticity ⇒ ≈ 1.6 GFLOP/s per core.
+    * ``insert_s_per_nnz`` — Figs. 4a/5a: PETSc setup ≈ 5–10× HYMV setup
+      ⇒ ≈ 0.45 µs per inserted nonzero (MatSetValues hash/search cost);
+      ``unstructured_insert_factor`` reflects the extra cache misses of
+      irregular sparsity (Fig. 7 reports 11× on unstructured meshes).
+    * ``assembly_sync_s`` — MatAssembly flush/synchronization cost per
+      log2(p) round (stragglers at scale).
+    * ``copy_gbps`` — streaming copy per core ≈ DRAM roofline share,
+      Fig. 10: 15.16 GB/s single-core DRAM bandwidth, derated to 13.
+    * ``rhs_gather_gbps`` — irregular gather bandwidth (matrix halo and
+      element-vector extraction), ≈ 1/4 of streaming.
+    * ``single_core_gflops`` — single-core SPMV rates measured by the
+      paper's Advisor roofline run (Fig. 10), used by the roofline
+      reproduction (a lone core gets the whole DRAM bandwidth, hence the
+      higher rates than the per-core Table I shares).
+    """
+
+    emat_gflops: float = 5.4
+    # one-time setup elemental computation, per element family (effective
+    # rates back-solved from Figs. 4a/5a [linear hex], 8a [hex20], 9a
+    # [hex27], 7 [tets]):
+    emat_setup_hex8_gflops: float = 1.6
+    emat_setup_hex20_gflops: float = 1.0
+    emat_setup_hex27_gflops: float = 2.0
+    emat_setup_tet_gflops: float = 1.6
+    emv_gflops: float = 0.8
+    csr_gflops: float = 0.465
+    # CSR SPMV degrades at small per-process matrices (per-row overhead,
+    # larger halo fraction): rate_eff = csr_gflops * g / (g + csr_overhead_dofs)
+    # calibrated so the 0.1M-dof/rank Table I point achieves 0.43 GF/s/core
+    csr_overhead_dofs: float = 8000.0
+    # fewer, larger-granularity processes stream dense batches with less
+    # DRAM contention and fewer messages (Fig. 6a hybrid vs pure MPI)
+    hybrid_emv_bonus: float = 1.35
+    insert_s_per_nnz: float = 0.1e-6
+    # saturating per-rank assembly overhead (preallocation, hashing,
+    # stash handling): assembly_base_s * nnz / (nnz + assembly_base_nnz)
+    assembly_base_s: float = 0.6
+    assembly_base_nnz: float = 2.0e6
+    unstructured_insert_factor: float = 1.5
+    assembly_sync_s: float = 8.0e-3
+    copy_gbps: float = 13.0
+    rhs_gather_gbps: float = 3.3
+    omp_efficiency: float = 0.85  # per-socket OpenMP scaling efficiency
+    single_core_gflops: tuple = (
+        ("hymv", 1.614),
+        ("assembled", 1.062),
+        ("matfree", 5.053),
+    )
+
+    def emat_setup_gflops(self, etype) -> float:
+        """Setup-phase elemental-computation rate for an element type."""
+        from repro.mesh.element import ElementType
+
+        return {
+            ElementType.HEX8: self.emat_setup_hex8_gflops,
+            ElementType.HEX20: self.emat_setup_hex20_gflops,
+            ElementType.HEX27: self.emat_setup_hex27_gflops,
+            ElementType.TET4: self.emat_setup_tet_gflops,
+            ElementType.TET10: self.emat_setup_tet_gflops,
+        }[etype]
+
+
+@dataclass(frozen=True)
+class FronteraMachine:
+    """One Frontera Cascade Lake (Xeon Platinum 8280) dual-socket node."""
+
+    cores_per_node: int = 56
+    sockets_per_node: int = 2
+    mem_per_node_gb: float = 192.0
+    # Fig. 10 roofline ceilings (single core, Intel Advisor)
+    l1_gbps: float = 368.99
+    l2_gbps: float = 117.37
+    l3_gbps: float = 25.69
+    dram_gbps: float = 15.16
+    dp_fma_peak_gflops: float = 76.44
+    dp_add_peak_gflops: float = 38.22
+    scalar_add_peak_gflops: float = 6.57
+    rates: CoreRates = field(default_factory=CoreRates)
+    network: NetworkModel = field(default_factory=NetworkModel)
+
+    @property
+    def cores_per_socket(self) -> int:
+        return self.cores_per_node // self.sockets_per_node
+
+
+@dataclass(frozen=True)
+class GpuModel:
+    """NVIDIA Quadro RTX 5000 (Turing) — the paper's GPU (§V-A).
+
+    * ``mem_gbps`` — 448 GB/s GDDR6 (spec), derated to an effective
+      streaming rate for the batched-EMV kernel.
+    * ``fp64_gflops`` — Turing FP64 = 1/32 FP32 ≈ 350 GFLOP/s.
+    * ``pcie_gbps`` — PCIe 3.0 x16 ≈ 12 GB/s effective per direction
+      (independent H2D and D2H copy engines, so transfers in opposite
+      directions overlap — the mechanism of Fig. 3).
+    * ``kernel_launch_s`` — per-kernel launch/driver latency.
+
+    Calibration target: Fig. 8a reports GPU SPMV ≈ 7.4× the CPU SPMV of
+    2 MPI × 14 OpenMP Cascade Lake processes at 25.1M DoFs.
+    """
+
+    mem_gbps: float = 380.0
+    fp64_gflops: float = 350.0
+    pcie_gbps: float = 12.0
+    kernel_launch_s: float = 8.0e-6
+    setup_h2d_gbps: float = 11.0
+    gpus_per_node: int = 4
+    mem_gb: float = 16.0
+    csr_gbps: float = 140.0  # cuSPARSE effective bandwidth (irregular)
+
+
+FRONTERA = FronteraMachine()
+GPU_NODE = GpuModel()

@@ -1,0 +1,110 @@
+"""Weak/strong scaling series at paper scale (the modeled tier)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fem.operators import Operator
+from repro.mesh.element import ElementType
+from repro.perfmodel.costs import (
+    CaseGeometry,
+    method_setup_time,
+    method_spmv_time,
+)
+from repro.perfmodel.machine import FRONTERA, FronteraMachine
+
+__all__ = ["ScalingPoint", "weak_scaling_series", "strong_scaling_series"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (cores, method) sample of a scaling study."""
+
+    cores: int
+    method: str
+    setup_time: float
+    spmv_time: float  # ten SPMV, the paper's protocol
+    emat_time: float
+    overhead_time: float
+
+
+def _point(
+    method: str,
+    cores: int,
+    dofs_per_rank: float,
+    etype: ElementType,
+    operator: Operator,
+    machine: FronteraMachine,
+    structured: bool,
+    threads: int,
+    overlap: bool,
+    n_spmv: int,
+) -> ScalingPoint:
+    n_ranks = max(cores // threads, 1)
+    # per-process partition: `threads` cores' worth of dofs per MPI rank
+    geo = CaseGeometry.from_granularity(
+        etype, operator, dofs_per_rank * threads, n_ranks,
+        structured=structured,
+    )
+    setup = method_setup_time(method, geo, operator, machine, threads)
+    spmv = method_spmv_time(
+        method, geo, operator, machine, threads, overlap, n_spmv
+    )
+    return ScalingPoint(
+        cores=cores,
+        method=method,
+        setup_time=setup["total"],
+        spmv_time=spmv,
+        emat_time=setup["emat_compute"],
+        overhead_time=setup["overhead"],
+    )
+
+
+def weak_scaling_series(
+    methods: list[str],
+    core_counts: list[int],
+    dofs_per_rank: float,
+    etype: ElementType,
+    operator: Operator,
+    machine: FronteraMachine = FRONTERA,
+    structured: bool = True,
+    threads: int = 1,
+    overlap: bool = True,
+    n_spmv: int = 10,
+) -> dict[str, list[ScalingPoint]]:
+    """Fixed granularity per rank, growing core counts (Figs. 4a/5a/6a)."""
+    return {
+        m: [
+            _point(
+                m, c, dofs_per_rank, etype, operator, machine,
+                structured, threads, overlap, n_spmv,
+            )
+            for c in core_counts
+        ]
+        for m in methods
+    }
+
+
+def strong_scaling_series(
+    methods: list[str],
+    core_counts: list[int],
+    total_dofs: float,
+    etype: ElementType,
+    operator: Operator,
+    machine: FronteraMachine = FRONTERA,
+    structured: bool = True,
+    threads: int = 1,
+    overlap: bool = True,
+    n_spmv: int = 10,
+) -> dict[str, list[ScalingPoint]]:
+    """Fixed total problem, growing core counts (Figs. 4b/5b/6b/7)."""
+    return {
+        m: [
+            _point(
+                m, c, total_dofs / c, etype, operator,
+                machine, structured, threads, overlap, n_spmv,
+            )
+            for c in core_counts
+        ]
+        for m in methods
+    }

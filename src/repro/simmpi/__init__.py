@@ -1,0 +1,27 @@
+"""Deterministic in-process MPI runtime (the distributed-memory substitute).
+
+The paper runs MPI on TACC Frontera.  This package provides an mpi4py-like
+API whose ranks run as threads inside one process:
+
+* **Real data movement** — ``isend``/``irecv`` transfer actual NumPy
+  payloads between rank mailboxes, so every distributed algorithm in the
+  library is exercised end-to-end and checked bitwise against serial
+  references.
+* **Virtual time** — every rank carries a virtual clock advanced by
+  (a) *measured* wall time of its local NumPy compute (serialized under a
+  global lock so measurements are honest on any host), and (b) *modeled*
+  communication costs from an α–β :class:`~repro.simmpi.network.NetworkModel`
+  that distinguishes intra-node from inter-node links.  Message completion
+  respects true dependencies (a receive cannot complete before the matching
+  send was posted plus transfer time), which is exactly what makes
+  communication/computation overlap measurable — the paper's Alg. 2.
+
+The scaling *shape* experiments use these virtual clocks; correctness tests
+use the payloads.
+"""
+
+from repro.simmpi.network import NetworkModel
+from repro.simmpi.engine import Simulator, run_spmd
+from repro.simmpi.communicator import Communicator, Request
+
+__all__ = ["NetworkModel", "Simulator", "run_spmd", "Communicator", "Request"]

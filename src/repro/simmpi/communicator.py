@@ -1,0 +1,258 @@
+"""Per-rank communicator: nonblocking point-to-point, collectives, and
+virtual-time accounting.
+
+The API deliberately mirrors the mpi4py idioms used in distributed FEM
+codes (``isend``/``irecv``/``waitall``, ``allreduce``, ``alltoall``) so the
+HYMV algorithms read like their C++/MPI counterparts in the paper.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.simmpi.network import NetworkModel
+from repro.util.timer import TimingRecord
+
+__all__ = ["Communicator", "Request"]
+
+
+class _Aborted(RuntimeError):
+    """Raised inside rank threads when a sibling rank failed."""
+
+
+def _nbytes(payload: Any) -> int:
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, (int, float, np.floating, np.integer)):
+        return 8
+    # container of arrays / generic object: rough estimate
+    if isinstance(payload, (list, tuple)):
+        return sum(_nbytes(x) for x in payload) + 16
+    return 64
+
+
+@dataclass
+class _Message:
+    payload: Any
+    arrival_vtime: float
+
+
+@dataclass
+class Request:
+    """Handle for a nonblocking operation."""
+
+    kind: str  # "send" | "recv"
+    peer: int
+    tag: int
+    complete_vtime: float = 0.0
+    payload: Any = None
+    done: bool = False
+
+
+class _Mailbox:
+    """Thread-safe per-rank mailbox with (source, tag) FIFO matching."""
+
+    def __init__(self, abort: threading.Event) -> None:
+        self._abort = abort
+        self._cond = threading.Condition()
+        self._queues: dict[tuple[int, int], deque[_Message]] = {}
+
+    def put(self, source: int, tag: int, msg: _Message) -> None:
+        with self._cond:
+            self._queues.setdefault((source, tag), deque()).append(msg)
+            self._cond.notify_all()
+
+    def get(self, source: int, tag: int) -> _Message:
+        key = (source, tag)
+        with self._cond:
+            while not self._queues.get(key):
+                if self._abort.is_set():
+                    raise _Aborted()
+                self._cond.wait(timeout=0.05)
+            return self._queues[key].popleft()
+
+    def wake(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
+
+    def empty(self) -> bool:
+        with self._cond:
+            return all(not q for q in self._queues.values())
+
+
+class Communicator:
+    """One rank's endpoint into the simulated communicator.
+
+    Created by :class:`repro.simmpi.engine.Simulator`; user code receives
+    one per rank program.
+    """
+
+    def __init__(self, simulator, rank: int):
+        self._sim = simulator
+        self.rank = rank
+        self.size = simulator.n_ranks
+        self.vtime = 0.0
+        self.timing = TimingRecord()
+        self.network: NetworkModel = simulator.network
+        #: virtual-time intervals (label, start, end) when tracing is on
+        self.trace: list[tuple[str, float, float]] = []
+
+    def _trace(self, label: str, t0: float, t1: float) -> None:
+        if getattr(self._sim, "trace_enabled", False) and t1 > t0:
+            self.trace.append((label, t0, t1))
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+
+    def isend(self, payload: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking (buffered/eager) send.  The payload is copied, so
+        the caller may reuse its buffer immediately."""
+        if not (0 <= dest < self.size):
+            raise ValueError(f"invalid destination rank {dest}")
+        if isinstance(payload, np.ndarray):
+            payload = payload.copy()
+        self.vtime += self.network.send_overhead
+        arrival = self.vtime + self.network.msg_time(
+            self.rank, dest, _nbytes(payload)
+        )
+        self._sim.mailbox(dest).put(self.rank, tag, _Message(payload, arrival))
+        return Request("send", dest, tag, complete_vtime=self.vtime, done=True)
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        """Nonblocking receive; the payload is available after ``wait``."""
+        if not (0 <= source < self.size):
+            raise ValueError(f"invalid source rank {source}")
+        return Request("recv", source, tag)
+
+    def wait(self, req: Request) -> Any:
+        """Complete one request; returns the payload for receives."""
+        if req.done:
+            return req.payload
+        t0 = self.vtime
+        msg = self._sim.mailbox(self.rank).get(req.peer, req.tag)
+        req.payload = msg.payload
+        req.complete_vtime = max(self.vtime, msg.arrival_vtime)
+        req.done = True
+        self.vtime = req.complete_vtime
+        self._trace(f"wait<-{req.peer}", t0, self.vtime)
+        return req.payload
+
+    def waitall(self, reqs: list[Request]) -> list[Any]:
+        """Complete all requests; the clock advances to the latest."""
+        return [self.wait(r) for r in reqs]
+
+    def send(self, payload: Any, dest: int, tag: int = 0) -> None:
+        self.wait(self.isend(payload, dest, tag))
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        return self.wait(self.irecv(source, tag))
+
+    # ------------------------------------------------------------------
+    # collectives (deterministic reduction order)
+    # ------------------------------------------------------------------
+
+    def barrier(self) -> None:
+        times = self._sim.exchange(self.rank, self.vtime)
+        self.vtime = max(times) + self.network.barrier_time(self.size)
+
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        """Allreduce of a scalar or ndarray, reduced in rank order."""
+        entries = self._sim.exchange(self.rank, (self.vtime, value))
+        tmax = max(t for t, _ in entries)
+        vals = [v for _, v in entries]
+        result = _reduce(vals, op)
+        self.vtime = tmax + self.network.allreduce_time(
+            self.size, _nbytes(vals[0])
+        )
+        return result
+
+    def allgather(self, value: Any) -> list[Any]:
+        entries = self._sim.exchange(self.rank, (self.vtime, value))
+        tmax = max(t for t, _ in entries)
+        total = sum(_nbytes(v) for _, v in entries)
+        self.vtime = tmax + self.network.allreduce_time(self.size, total)
+        return [v for _, v in entries]
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        entries = self._sim.exchange(self.rank, (self.vtime, value))
+        tmax = max(t for t, _ in entries)
+        self.vtime = tmax + self.network.allreduce_time(
+            self.size, _nbytes(entries[root][1])
+        )
+        return entries[root][1]
+
+    def alltoall(self, per_dest: list[Any]) -> list[Any]:
+        """Personalized all-to-all: entry ``d`` goes to rank ``d``."""
+        if len(per_dest) != self.size:
+            raise ValueError("alltoall needs one entry per rank")
+        entries = self._sim.exchange(self.rank, (self.vtime, per_dest))
+        tmax = max(t for t, _ in entries)
+        received = [v[self.rank] for _, v in entries]
+        total = sum(_nbytes(v) for v in received) + sum(
+            _nbytes(v) for v in per_dest
+        )
+        self.vtime = tmax + self.network.allreduce_time(self.size, total)
+        return received
+
+    # ------------------------------------------------------------------
+    # compute accounting
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def compute(self, label: str = "compute"):
+        """Measure the enclosed local compute and advance the clock.
+
+        Durations are measured with per-thread CPU time
+        (``time.thread_time``), so concurrent sibling rank threads do not
+        pollute each other's measurements.  The measured time is scaled by
+        the simulator's ``compute_scale`` before advancing virtual time.
+        """
+        t0 = time.thread_time()
+        v0 = self.vtime
+        try:
+            yield self
+        finally:
+            dt = (time.thread_time() - t0) * self._sim.compute_scale
+            self.vtime += dt
+            self.timing.add(label, dt)
+            self._trace(label, v0, self.vtime)
+
+    def advance(self, seconds: float, label: str = "modeled") -> None:
+        """Advance virtual time by a modeled (not measured) duration."""
+        if seconds < 0:
+            raise ValueError("cannot advance time backwards")
+        v0 = self.vtime
+        self.vtime += seconds
+        self.timing.add(label, seconds)
+        self._trace(label, v0, self.vtime)
+
+
+def _reduce(vals: list[Any], op: str) -> Any:
+    if op == "sum":
+        out = vals[0]
+        if isinstance(out, np.ndarray):
+            out = out.copy()
+        for v in vals[1:]:
+            out = out + v
+        return out
+    if op == "max":
+        out = vals[0]
+        for v in vals[1:]:
+            out = np.maximum(out, v) if isinstance(out, np.ndarray) else max(out, v)
+        return out
+    if op == "min":
+        out = vals[0]
+        for v in vals[1:]:
+            out = np.minimum(out, v) if isinstance(out, np.ndarray) else min(out, v)
+        return out
+    raise ValueError(f"unknown reduction op {op!r}")

@@ -1,0 +1,54 @@
+"""α–β network cost model with node topology.
+
+Defaults approximate Frontera's fabric (Mellanox HDR100 to the nodes:
+~100 Gb/s, ~1–2 µs MPI latency) and 56-core Cascade Lake nodes, the
+machine of every experiment in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Per-message cost ``alpha + n_bytes / beta``, topology-aware.
+
+    Ranks are packed onto nodes in order: rank ``r`` lives on node
+    ``r // cores_per_node``.
+    """
+
+    latency_intra: float = 0.6e-6  # s, shared-memory transport
+    latency_inter: float = 2.0e-6  # s, network transport
+    bandwidth_intra: float = 8.0e9  # B/s
+    bandwidth_inter: float = 12.0e9  # B/s (HDR100 ≈ 100 Gb/s)
+    cores_per_node: int = 56
+    send_overhead: float = 0.2e-6  # s, CPU cost of posting a send
+
+    def node_of(self, rank: int) -> int:
+        return rank // self.cores_per_node
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of(a) == self.node_of(b)
+
+    def msg_time(self, src: int, dst: int, n_bytes: int) -> float:
+        """Transfer time of one point-to-point message."""
+        if self.same_node(src, dst):
+            return self.latency_intra + n_bytes / self.bandwidth_intra
+        return self.latency_inter + n_bytes / self.bandwidth_inter
+
+    def allreduce_time(self, n_ranks: int, n_bytes: int) -> float:
+        """Recursive-doubling allreduce estimate."""
+        if n_ranks <= 1:
+            return 0.0
+        rounds = math.ceil(math.log2(n_ranks))
+        return rounds * (self.latency_inter + n_bytes / self.bandwidth_inter)
+
+    def barrier_time(self, n_ranks: int) -> float:
+        if n_ranks <= 1:
+            return 0.0
+        return math.ceil(math.log2(n_ranks)) * self.latency_inter

@@ -1,0 +1,20 @@
+"""Shared utilities: timing, tables, array helpers, deterministic RNG."""
+
+from repro.util.timer import Timer, TimingRecord
+from repro.util.tables import ResultTable
+from repro.util.arrays import (
+    as_f64,
+    as_index,
+    scatter_add,
+    INDEX_DTYPE,
+)
+
+__all__ = [
+    "Timer",
+    "TimingRecord",
+    "ResultTable",
+    "as_f64",
+    "as_index",
+    "scatter_add",
+    "INDEX_DTYPE",
+]

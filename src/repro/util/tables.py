@@ -1,0 +1,70 @@
+"""Plain-text result tables used by the experiment harness.
+
+Every figure/table reproduction renders its series through
+:class:`ResultTable` so that ``python -m repro.harness`` and the benchmark
+suite emit a uniform, diff-friendly format that maps 1:1 onto the rows the
+paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0.0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+@dataclass
+class ResultTable:
+    """A titled table of rows with named columns."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[Any]:
+        """Return a column by name."""
+        j = list(self.columns).index(name)
+        return [row[j] for row in self.rows]
+
+    def render(self) -> str:
+        cells = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(str(c)), *(len(r[j]) for r in cells)) if cells else len(str(c))
+            for j, c in enumerate(self.columns)
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(str(c).ljust(w) for c, w in zip(self.columns, widths))
+        body = [
+            " | ".join(r[j].rjust(widths[j]) for j in range(len(widths)))
+            for r in cells
+        ]
+        lines = [f"== {self.title} ==", header, sep, *body]
+        lines.extend(f"  note: {n}" for n in self.notes)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def render_many(tables: Iterable[ResultTable]) -> str:
+    return "\n\n".join(t.render() for t in tables)

@@ -1,0 +1,104 @@
+"""Legacy-VTK output of meshes and nodal fields.
+
+Lets the examples dump solutions viewable in ParaView — the standard
+workflow around the paper's kind of library.  Writes ASCII legacy ``.vtk``
+unstructured grids (no external dependencies).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.mesh.element import ElementType
+from repro.mesh.mesh import Mesh
+
+__all__ = ["write_vtk"]
+
+# legacy VTK cell type ids
+_VTK_CELL = {
+    ElementType.HEX8: 12,
+    ElementType.HEX20: 25,
+    ElementType.HEX27: 29,
+    ElementType.TET4: 10,
+    ElementType.TET10: 24,
+}
+
+# node-order permutation from our convention to VTK's
+_VTK_ORDER = {
+    ElementType.HEX8: list(range(8)),
+    # VTK quadratic hexahedron: corners, bottom edges, top edges, vertical
+    ElementType.HEX20: list(range(8))
+    + [8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19],
+    ElementType.HEX27: list(range(20)) + [25, 23, 22, 24, 20, 21, 26],
+    ElementType.TET4: list(range(4)),
+    ElementType.TET10: list(range(10)),
+}
+
+
+def write_vtk(
+    path: str | pathlib.Path,
+    mesh: Mesh,
+    point_data: dict[str, np.ndarray] | None = None,
+    cell_data: dict[str, np.ndarray] | None = None,
+    title: str = "repro output",
+) -> pathlib.Path:
+    """Write ``mesh`` and optional nodal/cell fields as legacy VTK.
+
+    ``point_data`` values may be scalars ``(n_nodes,)`` or vectors
+    ``(n_nodes, 3)``; ``cell_data`` analogously per element.
+    """
+    path = pathlib.Path(path)
+    perm = _VTK_ORDER[mesh.etype]
+    n = mesh.etype.n_nodes
+    lines = [
+        "# vtk DataFile Version 3.0",
+        title,
+        "ASCII",
+        "DATASET UNSTRUCTURED_GRID",
+        f"POINTS {mesh.n_nodes} double",
+    ]
+    lines.extend(
+        " ".join(f"{v:.17g}" for v in row) for row in mesh.coords
+    )
+    lines.append(f"CELLS {mesh.n_elements} {mesh.n_elements * (n + 1)}")
+    conn = mesh.conn[:, perm]
+    lines.extend(
+        f"{n} " + " ".join(str(int(v)) for v in row) for row in conn
+    )
+    lines.append(f"CELL_TYPES {mesh.n_elements}")
+    lines.extend([str(_VTK_CELL[mesh.etype])] * mesh.n_elements)
+
+    def _emit(data: dict[str, np.ndarray], count: int) -> None:
+        for name, values in data.items():
+            values = np.asarray(values, dtype=np.float64)
+            if values.shape[0] != count:
+                raise ValueError(
+                    f"field {name!r} has {values.shape[0]} entries, "
+                    f"expected {count}"
+                )
+            if values.ndim == 1:
+                lines.append(f"SCALARS {name} double 1")
+                lines.append("LOOKUP_TABLE default")
+                lines.extend(f"{v:.17g}" for v in values)
+            elif values.ndim == 2 and values.shape[1] == 3:
+                lines.append(f"VECTORS {name} double")
+                lines.extend(
+                    " ".join(f"{v:.17g}" for v in row) for row in values
+                )
+            else:
+                raise ValueError(
+                    f"field {name!r} must be (n,) or (n, 3), got "
+                    f"{values.shape}"
+                )
+
+    if point_data:
+        lines.append(f"POINT_DATA {mesh.n_nodes}")
+        _emit(point_data, mesh.n_nodes)
+    if cell_data:
+        lines.append(f"CELL_DATA {mesh.n_elements}")
+        _emit(cell_data, mesh.n_elements)
+
+    path.write_text("\n".join(lines) + "\n")
+    return path

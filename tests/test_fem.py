@@ -1,0 +1,244 @@
+"""FEM substrate: element matrices, loads, analytic solutions, BCs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+
+from repro.baselines.serial import SerialReference, assemble_global_csr
+from repro.fem import (
+    DirichletBC,
+    ElasticityOperator,
+    IsotropicElasticity,
+    PoissonOperator,
+)
+from repro.fem.analytic import (
+    bar_body_force,
+    bar_exact_displacement,
+    bar_top_traction,
+    poisson_exact,
+    poisson_forcing,
+)
+from repro.fem.elemmat import mass_ke_batch
+from repro.fem.loads import body_force_rhs_batch, face_area_batch, traction_rhs_batch
+from repro.mesh import ElementType, box_hex_mesh, box_tet_mesh, jittered_hex_mesh
+from repro.mesh.element import corner_faces
+
+ALL_MESHES = [
+    ("hex8", lambda: box_hex_mesh(3, 3, 3)),
+    ("hex20", lambda: jittered_hex_mesh(2, 2, 2, ElementType.HEX20, jitter=0.15)),
+    ("hex27", lambda: jittered_hex_mesh(2, 2, 2, ElementType.HEX27, jitter=0.15)),
+    ("tet4", lambda: box_tet_mesh(2, 2, 2, jitter=0.2)),
+    ("tet10", lambda: box_tet_mesh(2, 2, 2, ElementType.TET10, jitter=0.2)),
+]
+
+
+@pytest.mark.parametrize("name,factory", ALL_MESHES)
+def test_poisson_ke_symmetric_psd_with_nullspace(name, factory):
+    mesh = factory()
+    ke = PoissonOperator().element_matrices(mesh.coords[mesh.conn], mesh.etype)
+    np.testing.assert_allclose(ke, np.swapaxes(ke, 1, 2), atol=1e-12)
+    # constant field in the nullspace
+    np.testing.assert_allclose(ke.sum(axis=2), 0.0, atol=1e-11)
+    # PSD: eigenvalues >= -eps
+    w = np.linalg.eigvalsh(ke)
+    assert w.min() > -1e-10
+
+
+@pytest.mark.parametrize("name,factory", ALL_MESHES)
+def test_elasticity_ke_rigid_body_modes(name, factory):
+    mesh = factory()
+    mat = IsotropicElasticity(E=7.0, nu=0.25)
+    ke = ElasticityOperator(material=mat).element_matrices(
+        mesh.coords[mesh.conn], mesh.etype
+    )
+    np.testing.assert_allclose(ke, np.swapaxes(ke, 1, 2), atol=1e-10)
+    coords = mesh.coords[mesh.conn]  # (E, n, 3)
+    E_, n, _ = coords.shape
+    # translations
+    for c in range(3):
+        v = np.zeros((E_, n, 3))
+        v[:, :, c] = 1.0
+        r = np.einsum("eij,ej->ei", ke, v.reshape(E_, -1))
+        np.testing.assert_allclose(r, 0.0, atol=1e-9)
+    # infinitesimal rotations: u = w x (x - x0)
+    for axis in range(3):
+        w = np.zeros(3)
+        w[axis] = 1.0
+        v = np.cross(w[None, None, :], coords - coords.mean(axis=1, keepdims=True))
+        r = np.einsum("eij,ej->ei", ke, v.reshape(E_, -1))
+        np.testing.assert_allclose(r, 0.0, atol=1e-8)
+
+
+def test_elasticity_reduces_to_known_lame_identities():
+    mat = IsotropicElasticity(E=200.0, nu=0.3)
+    lam, mu = mat.lam, mat.mu
+    np.testing.assert_allclose(
+        mat.E, mu * (3 * lam + 2 * mu) / (lam + mu), rtol=1e-12
+    )
+    np.testing.assert_allclose(mat.nu, lam / (2 * (lam + mu)), rtol=1e-12)
+
+
+@pytest.mark.parametrize("name,factory", ALL_MESHES)
+def test_mass_matrix_total_volume(name, factory):
+    mesh = factory()
+    m = mass_ke_batch(mesh.coords[mesh.conn], mesh.etype)
+    np.testing.assert_allclose(m.sum(), 1.0, rtol=1e-10)  # unit cube
+
+
+def test_mass_matrix_vector_variant():
+    mesh = box_hex_mesh(2, 2, 2)
+    m3 = mass_ke_batch(mesh.coords[mesh.conn], mesh.etype, ndpn=3)
+    assert m3.shape == (8, 24, 24)
+    np.testing.assert_allclose(m3.sum(), 3.0, rtol=1e-10)
+
+
+def test_body_force_total_equals_volume_integral():
+    mesh = box_hex_mesh(3, 3, 3)
+    fe = body_force_rhs_batch(
+        mesh.coords[mesh.conn], mesh.etype, np.array([2.5]), ndpn=1
+    )
+    np.testing.assert_allclose(fe.sum(), 2.5, rtol=1e-12)  # 2.5 * volume
+
+
+def test_body_force_callable_matches_constant():
+    mesh = box_tet_mesh(2, 2, 2, jitter=0.1)
+    const = body_force_rhs_batch(
+        mesh.coords[mesh.conn], mesh.etype, np.array([1.0, 2.0, 3.0]), ndpn=3
+    )
+    fn = body_force_rhs_batch(
+        mesh.coords[mesh.conn],
+        mesh.etype,
+        lambda x: np.broadcast_to([1.0, 2.0, 3.0], x.shape[:-1] + (3,)),
+        ndpn=3,
+    )
+    np.testing.assert_allclose(const, fn, atol=1e-13)
+
+
+@pytest.mark.parametrize("name,factory", ALL_MESHES)
+def test_boundary_face_areas_sum_to_surface(name, factory):
+    mesh = factory()
+    bf = mesh.boundary_faces()
+    areas = face_area_batch(
+        mesh.coords[mesh.conn[bf[:, 0]]], mesh.etype, bf[:, 1]
+    )
+    np.testing.assert_allclose(areas.sum(), 6.0, rtol=1e-9)  # unit cube
+
+
+def test_traction_total_force():
+    mesh = box_hex_mesh(3, 3, 2, ElementType.HEX20)
+    bf = mesh.boundary_faces()
+    cf = corner_faces(mesh.etype)
+    top = [
+        (e, f)
+        for e, f in bf
+        if np.allclose(mesh.coords[mesh.conn[e, list(cf[f])]][:, 2], 1.0)
+    ]
+    top = np.asarray(top)
+    t = np.array([0.0, 0.0, 5.0])
+    fe = traction_rhs_batch(
+        mesh.coords[mesh.conn[top[:, 0]]], mesh.etype, top[:, 1], t, ndpn=3
+    )
+    np.testing.assert_allclose(fe.sum(axis=(0, 1)), [0, 0, 5.0], atol=1e-12)
+
+
+def test_poisson_manufactured_convergence():
+    errs = []
+    for nel in (4, 8):
+        mesh = box_hex_mesh(nel, nel, nel)
+        ref = SerialReference(mesh, PoissonOperator())
+        fe = body_force_rhs_batch(
+            mesh.coords[mesh.conn],
+            mesh.etype,
+            lambda x: poisson_forcing(x)[..., None],
+            1,
+        )
+        f = ref.rhs_from_elemental(fe[:, :, None])
+        bn = mesh.boundary_nodes()
+        u = ref.solve_dirichlet(f, bn, np.zeros(ref.n_dofs))
+        errs.append(np.abs(u - poisson_exact(mesh.coords)).max())
+    assert errs[1] < errs[0] / 2.5  # ~O(h^2)
+
+
+def test_elastic_bar_exact_for_quadratic_elements():
+    mat = IsotropicElasticity(E=10.0, nu=0.3)
+    Lz = 2.0
+    mesh = box_hex_mesh(
+        2, 2, 3, ElementType.HEX20, lengths=(1, 1, Lz), origin=(-0.5, -0.5, 0)
+    )
+    ref = SerialReference(mesh, ElasticityOperator(material=mat))
+    fe = body_force_rhs_batch(
+        mesh.coords[mesh.conn], mesh.etype, bar_body_force(mat), 3
+    )
+    f = ref.rhs_from_elemental(fe)
+    bf = mesh.boundary_faces()
+    cf = corner_faces(mesh.etype)
+    top = np.asarray(
+        [
+            (e, fc)
+            for e, fc in bf
+            if np.allclose(mesh.coords[mesh.conn[e, list(cf[fc])]][:, 2], Lz)
+        ]
+    )
+    tr = traction_rhs_batch(
+        mesh.coords[mesh.conn[top[:, 0]]],
+        mesh.etype,
+        top[:, 1],
+        bar_top_traction(mat, Lz),
+        3,
+    )
+    from repro.util.arrays import scatter_add
+
+    dofmap = mesh.conn[:, :, None] * 3 + np.arange(3)
+    scatter_add(f, dofmap[top[:, 0]], tr)
+    top_nodes = np.flatnonzero(np.abs(mesh.coords[:, 2] - Lz) < 1e-12)
+    cons = (top_nodes[:, None] * 3 + np.arange(3)).reshape(-1)
+    u0 = np.zeros(ref.n_dofs)
+    u0.reshape(-1, 3)[top_nodes] = bar_exact_displacement(
+        mesh.coords[top_nodes], mat, Lz
+    )
+    u = ref.solve_dirichlet(f, cons, u0)
+    err = np.abs(u - bar_exact_displacement(mesh.coords, mat, Lz).reshape(-1))
+    assert err.max() < 1e-8  # the paper's verification threshold (§V-B)
+
+
+def test_dirichlet_bc_masks_and_values():
+    bc = DirichletBC(np.array([3, 7, 9]), 2.0, ndpn=2, components=(1,))
+    dofs = bc.constrained_dofs()
+    np.testing.assert_array_equal(dofs, [7, 15, 19])
+    mask = bc.mask_slice(5, 10)  # nodes 5..9 -> dofs 10..19 local
+    expected = np.zeros(10, dtype=bool)
+    expected[[5, 9]] = True  # nodes 7, 9 component 1
+    np.testing.assert_array_equal(mask, expected)
+    vals = bc.values_for(np.array([6, 7]), np.zeros((2, 3)))
+    np.testing.assert_allclose(vals, [[0, 0], [0, 2.0]])
+
+
+def test_dirichlet_bc_callable_values():
+    bc = DirichletBC(
+        np.array([1, 2]), lambda x: x[:, :2] * 10.0, ndpn=2
+    )
+    coords = np.array([[0.1, 0.2, 0.0], [0.3, 0.4, 0.0], [0.5, 0.6, 0.0]])
+    vals = bc.values_for(np.array([0, 1, 2]), coords)
+    np.testing.assert_allclose(vals[0], 0.0)
+    np.testing.assert_allclose(vals[1], [3.0, 4.0])
+    np.testing.assert_allclose(vals[2], [5.0, 6.0])
+
+
+def test_assemble_global_csr_matches_quadratic_energy():
+    mesh = box_tet_mesh(2, 2, 2, ElementType.TET10, jitter=0.1)
+    A = assemble_global_csr(mesh, PoissonOperator())
+    u = mesh.coords[:, 0] ** 2 + mesh.coords[:, 1] * mesh.coords[:, 2]
+    # energy = int |grad u|^2 = int (4x^2 + z^2 + y^2) over unit cube
+    energy = 4.0 / 3.0 + 1.0 / 3.0 + 1.0 / 3.0
+    np.testing.assert_allclose(u @ (A @ u), energy, rtol=1e-10)
+
+
+def test_operator_flop_estimates_positive_and_monotone():
+    p1 = PoissonOperator()
+    e1 = ElasticityOperator()
+    for et in ElementType:
+        assert p1.ke_flops(et) > 0
+        assert e1.ke_flops(et) > p1.ke_flops(et)
+        assert e1.emv_flops(et) == 2 * (3 * et.n_nodes) ** 2

@@ -1,0 +1,121 @@
+"""GPU simulation: stream scheduler semantics and the GPU operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpu import HymvGpuOperator, StreamScheduler
+from repro.harness import run_solve
+from repro.mesh import ElementType
+from repro.perfmodel.machine import GpuModel
+from repro.problems import elastic_bar_problem
+from repro.problems import poisson_problem
+
+
+def test_stream_events_obey_engine_and_stream_order():
+    s = StreamScheduler(n_streams=4)
+    s.run_batch(h2d_bytes=1e6, kernel_flops=1e7, kernel_bytes=1e7, d2h_bytes=1e6)
+    by_engine: dict[str, list] = {"h2d": [], "kernel": [], "d2h": []}
+    by_stream: dict[int, list] = {}
+    for e in s.events:
+        by_engine[e.kind].append(e)
+        by_stream.setdefault(e.stream, []).append(e)
+    # engines execute serially
+    for evs in by_engine.values():
+        evs.sort(key=lambda e: e.start)
+        for a, b in zip(evs, evs[1:]):
+            assert b.start >= a.end - 1e-15
+    # within a stream: h2d -> kernel -> d2h per chunk, in order
+    for evs in by_stream.values():
+        evs.sort(key=lambda e: e.start)
+        kinds = [e.kind for e in evs]
+        assert kinds == ["h2d", "kernel", "d2h"] * (len(evs) // 3)
+
+
+@given(st.integers(min_value=1, max_value=16))
+def test_more_streams_never_slower(n):
+    one = StreamScheduler(n_streams=1)
+    one.run_batch(1e6, 1e7, 1e7, 1e6, n_chunks=16)
+    many = StreamScheduler(n_streams=n)
+    many.run_batch(1e6, 1e7, 1e7, 1e6, n_chunks=16)
+    assert many.makespan <= one.makespan + 1e-12
+
+
+def test_overlap_efficiency_bounds():
+    s = StreamScheduler(n_streams=8)
+    s.run_batch(1e7, 1e8, 1e8, 1e7)
+    eff = s.overlap_efficiency()
+    assert 1.0 <= eff <= 3.0  # three engines max
+
+
+def test_single_stream_serializes():
+    s = StreamScheduler(n_streams=1)
+    s.run_batch(1e6, 1e7, 1e7, 1e6, n_chunks=4)
+    total = sum(e.duration for e in s.events)
+    np.testing.assert_allclose(s.makespan, total, rtol=1e-12)
+
+
+def test_eight_streams_best_for_paper_workload():
+    """§V-D: sweeping stream counts, more streams monotonically improve
+    until the pipeline saturates (the paper picked 8)."""
+    times = {}
+    for ns in (1, 2, 4, 8):
+        s = StreamScheduler(n_streams=ns)
+        times[ns] = s.run_batch(
+            h2d_bytes=5e8, kernel_flops=7e9, kernel_bytes=3.6e9, d2h_bytes=5e8,
+            n_chunks=ns,
+        )
+    assert times[8] <= times[4] <= times[2] <= times[1]
+    assert times[8] < 0.75 * times[1]
+
+
+def test_invalid_stream_count():
+    with pytest.raises(ValueError):
+        StreamScheduler(n_streams=0)
+
+
+def test_timeline_render_contains_lanes():
+    s = StreamScheduler(n_streams=2)
+    s.run_batch(1e6, 1e7, 1e7, 1e6)
+    txt = s.render_ascii(40)
+    assert "s0:h2d" in txt and "s1:d2h" in txt and "makespan" in txt
+
+
+@pytest.mark.parametrize("scheme", ["gpu", "gpu_cpu_overlap", "gpu_gpu_overlap"])
+def test_gpu_schemes_solve_identically(scheme):
+    spec = elastic_bar_problem(3, 3, ElementType.HEX20)
+    out = run_solve(spec, "hymv_gpu", precond="jacobi", rtol=1e-10,
+                    scheme=scheme)
+    ref = run_solve(spec, "hymv", precond="jacobi", rtol=1e-10)
+    assert out.iterations == ref.iterations
+    np.testing.assert_allclose(out.err_inf, ref.err_inf, rtol=1e-6)
+
+
+def test_gpu_setup_includes_h2d_cost():
+    from repro.harness import run_bench
+
+    spec = poisson_problem(8, 2)
+    cpu = run_bench(spec, "hymv", n_spmv=2)
+    gpu = run_bench(spec, "hymv_gpu", n_spmv=2)
+    assert "setup.ke_h2d" in gpu.breakdown
+    assert gpu.breakdown["setup.ke_h2d"] > 0
+
+
+def test_gpu_rejects_unknown_scheme():
+    spec = poisson_problem(4, 1)
+    with pytest.raises(ValueError):
+        run_solve(spec, "hymv_gpu", precond="none", scheme="warp-drive")
+
+
+def test_faster_gpu_model_gives_faster_vtime():
+    from repro.harness import run_bench
+
+    # single rank: no communication, so the SPMV virtual time is purely
+    # the deterministic device model
+    spec = poisson_problem(8, 1)
+    slow = run_bench(spec, "hymv_gpu", n_spmv=5, gpu=GpuModel(mem_gbps=50.0))
+    fast = run_bench(spec, "hymv_gpu", n_spmv=5, gpu=GpuModel(mem_gbps=800.0))
+    assert fast.spmv_time < slow.spmv_time

@@ -1,0 +1,89 @@
+"""EMV kernels and scatter/gather primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernels import (
+    EMV_KERNELS,
+    accumulate_element_vectors,
+    emv_columns,
+    emv_einsum,
+    gather_element_vectors,
+)
+
+
+@given(
+    e=st.integers(min_value=1, max_value=20),
+    nd=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=50),
+)
+@settings(max_examples=15)
+def test_kernels_agree_any_shape(e, nd, seed):
+    rng = np.random.default_rng(seed)
+    ke = rng.standard_normal((e, nd, nd))
+    ue = rng.standard_normal((e, nd))
+    ref = np.stack([ke[i] @ ue[i] for i in range(e)])
+    np.testing.assert_allclose(emv_einsum(ke, ue), ref, atol=1e-11)
+    np.testing.assert_allclose(emv_columns(ke, ue), ref, atol=1e-11)
+
+
+def test_kernel_registry():
+    assert set(EMV_KERNELS) == {"einsum", "columns"}
+
+
+def test_gather_accumulate_roundtrip(rng):
+    flat = rng.standard_normal(40)
+    idx = rng.integers(0, 40, size=(6, 5))
+    ue = gather_element_vectors(flat, idx)
+    np.testing.assert_array_equal(ue, flat[idx])
+    out = np.zeros(40)
+    accumulate_element_vectors(out, idx, ue)
+    # accumulating the gathered values equals multiplicity-weighted flat
+    counts = np.bincount(idx.reshape(-1), minlength=40)
+    np.testing.assert_allclose(out, flat * counts, atol=1e-12)
+
+
+def test_gather_with_subset(rng):
+    flat = rng.standard_normal(30)
+    idx = rng.integers(0, 30, size=(8, 4))
+    sel = np.array([1, 3, 5])
+    np.testing.assert_array_equal(
+        gather_element_vectors(flat, idx, sel), flat[idx[sel]]
+    )
+
+
+def test_as_scipy_operator_interop():
+    import scipy.sparse.linalg as spla
+
+    from repro.core import HymvOperator
+    from repro.core.hymv import as_scipy_operator
+    from repro.fem import PoissonOperator
+    from repro.problems import poisson_problem
+    from repro.simmpi import run_spmd
+
+    spec = poisson_problem(5, 1)
+
+    def prog(comm):
+        A = HymvOperator(comm, spec.partition.local(0), spec.operator)
+        L = as_scipy_operator(A)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(A.n_dofs_owned)
+        np.testing.assert_allclose(L @ x, A.apply_owned(x), atol=1e-14)
+        # scipy CG on a shifted (SPD) version of the operator
+        shifted = spla.LinearOperator(
+            L.shape, matvec=lambda v: L @ v + v
+        )
+        b = rng.standard_normal(A.n_dofs_owned)
+        sol, info = spla.cg(shifted, b, rtol=1e-10, maxiter=2000)
+        assert info == 0
+        np.testing.assert_allclose(
+            shifted @ sol, b, atol=1e-7 * np.abs(b).max()
+        )
+        return True
+
+    res, _ = run_spmd(1, prog)
+    assert res[0]

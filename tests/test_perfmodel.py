@@ -1,0 +1,244 @@
+"""Performance model: counters, cost shapes, scaling series, roofline.
+
+These tests pin down the paper's qualitative claims as executable
+assertions on the model tier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fem.operators import ElasticityOperator, PoissonOperator
+from repro.mesh import ElementType
+from repro.perfmodel import (
+    FRONTERA,
+    CaseGeometry,
+    method_setup_time,
+    method_spmv_time,
+    spmv_counters,
+    strong_scaling_series,
+    weak_scaling_series,
+)
+from repro.perfmodel.costs import (
+    assembled_gpu_setup_time,
+    assembled_gpu_spmv_time,
+    gpu_setup_time,
+    gpu_spmv_time,
+)
+from repro.perfmodel.machine import CoreRates, FronteraMachine
+from repro.perfmodel.roofline import PAPER_ROOFLINE, render_ascii, roofline_points
+
+PAPER_CORES = [56, 112, 224, 448, 896, 1792, 3584, 7168, 14336, 28672]
+ELAST = ElasticityOperator()
+POISSON = PoissonOperator()
+
+
+def _geo(etype=ElementType.HEX8, op=POISSON, dofs=11.3e3, p=512, structured=True):
+    return CaseGeometry.from_granularity(etype, op, dofs, p, structured)
+
+
+def test_counters_matrix_free_does_most_flops():
+    from repro.perfmodel.costs import _NODES_PER_ELEM
+
+    for etype in ElementType:
+        op = ELAST
+        n_elem = 1000.0
+        n_nodes = n_elem * _NODES_PER_ELEM[etype]
+        c = {
+            m: spmv_counters(m, etype, op, n_elem, n_nodes)
+            for m in ("hymv", "assembled", "matfree")
+        }
+        assert c["matfree"].flops > c["hymv"].flops > c["assembled"].flops
+
+
+def test_counters_table1_flop_magnitudes():
+    """Table I: 10 SPMV at 5.6M dofs hex20 elasticity = 32.3 GFLOP (HYMV),
+    19.2 (assembled), 2264 (matrix-free) — match within ~25%."""
+    n_nodes = 5.6e6 / 3
+    n_elem = n_nodes / 4.0
+    c_h = spmv_counters("hymv", ElementType.HEX20, ELAST, n_elem, n_nodes)
+    c_a = spmv_counters("assembled", ElementType.HEX20, ELAST, n_elem, n_nodes)
+    c_m = spmv_counters("matfree", ElementType.HEX20, ELAST, n_elem, n_nodes)
+    assert abs(10 * c_h.flops / 32.3e9 - 1) < 0.25
+    assert abs(10 * c_a.flops / 19.2e9 - 1) < 0.25
+    assert abs(10 * c_m.flops / 2264e9 - 1) < 0.60  # their matfree counts more
+
+
+def test_setup_hymv_flat_in_p_weak_scaling():
+    """Paper: 'the setup time of HYMV does not depend on p provided the
+    granularity is kept constant'."""
+    s = weak_scaling_series(["hymv"], PAPER_CORES, 11.3e3, ElementType.HEX8, POISSON)
+    ts = [pt.setup_time for pt in s["hymv"]]
+    assert max(ts) / min(ts) < 1.05
+
+
+def test_setup_ratio_bands():
+    """Headline setup speedups: ~10x (Poisson structured), ~5x (elasticity
+    structured), ~11x average (unstructured)."""
+    s = weak_scaling_series(
+        ["hymv", "assembled"], [28672], 11.3e3, ElementType.HEX8, POISSON
+    )
+    r = s["assembled"][0].setup_time / s["hymv"][0].setup_time
+    assert 4.0 < r < 14.0
+    s = weak_scaling_series(
+        ["hymv", "assembled"], [28672], 33.5e3, ElementType.HEX8, ELAST
+    )
+    r = s["assembled"][0].setup_time / s["hymv"][0].setup_time
+    assert 3.0 < r < 8.0
+    s = strong_scaling_series(
+        ["hymv", "assembled"], [56 * n for n in (1, 2, 4, 8, 16, 32)],
+        8.5e6, ElementType.TET10, POISSON, structured=False,
+    )
+    ratios = [
+        a.setup_time / h.setup_time
+        for a, h in zip(s["assembled"], s["hymv"])
+    ]
+    assert 7.0 < np.mean(ratios) < 16.0  # paper: 11x average
+
+
+def test_matfree_spmv_dominates():
+    for etype, op, dofs in [
+        (ElementType.HEX8, POISSON, 11.3e3),
+        (ElementType.HEX8, ELAST, 33.5e3),
+        (ElementType.HEX20, ELAST, 33.5e3),
+    ]:
+        s = weak_scaling_series(
+            ["hymv", "assembled", "matfree"], [896], dofs, etype, op
+        )
+        t = {m: s[m][0].spmv_time for m in s}
+        assert t["matfree"] > 3.0 * max(t["hymv"], t["assembled"])
+
+
+def test_unstructured_spmv_advantage():
+    """Fig. 7: HYMV SPMV ≈ 3.6x faster than assembled on unstructured."""
+    s = strong_scaling_series(
+        ["hymv", "assembled"], [56 * n for n in (1, 2, 4, 8, 16, 32)],
+        8.5e6, ElementType.TET10, POISSON, structured=False,
+    )
+    ratios = [
+        a.spmv_time / h.spmv_time for a, h in zip(s["assembled"], s["hymv"])
+    ]
+    assert 2.5 < np.mean(ratios) < 5.5
+
+
+def test_hybrid_beats_pure_mpi_and_petsc_for_quadratic():
+    """Fig. 6a: hybrid HYMV < pure-MPI HYMV < PETSc for hex20."""
+    mpi = weak_scaling_series(
+        ["hymv", "assembled"], [28672], 33.5e3, ElementType.HEX20, ELAST
+    )
+    hyb = weak_scaling_series(
+        ["hymv"], [28672], 33.5e3, ElementType.HEX20, ELAST, threads=28
+    )
+    t_h = mpi["hymv"][0].spmv_time
+    t_a = mpi["assembled"][0].spmv_time
+    t_y = hyb["hymv"][0].spmv_time
+    assert t_y < t_h < t_a
+    assert 1.2 < t_a / t_y < 2.2  # paper: 1.7x
+
+
+def test_strong_scaling_times_decrease():
+    s = strong_scaling_series(
+        ["hymv", "assembled", "matfree"], [896, 1792, 3584, 7168, 14336],
+        42e6, ElementType.HEX8, POISSON,
+    )
+    for m in s:
+        ts = [pt.spmv_time for pt in s[m]]
+        assert all(b < a for a, b in zip(ts, ts[1:]))
+
+
+def test_overlap_helps_or_is_neutral():
+    geo = _geo(dofs=5e3, p=1024)
+    t_ov = method_spmv_time("hymv", geo, POISSON, overlap=True)
+    t_no = method_spmv_time("hymv", geo, POISSON, overlap=False)
+    assert t_ov <= t_no
+
+
+def test_gpu_speedup_band():
+    """Fig. 8a: GPU SPMV ≈ 7.4x the 2x14 CPU config at 25.1M dofs."""
+    gm = FronteraMachine(rates=CoreRates(hybrid_emv_bonus=1.0))
+    geo = CaseGeometry.from_granularity(ElementType.HEX20, ELAST, 25.1e6 / 2, 2)
+    t_cpu = method_spmv_time("hymv", geo, ELAST, machine=gm, threads=14, n_spmv=10)
+    t_gpu = gpu_spmv_time(geo, ELAST, machine=gm, threads=14, n_spmv=10)
+    assert 5.0 < t_cpu / t_gpu < 10.0
+
+
+def test_gpu_setup_slightly_above_cpu():
+    geo = CaseGeometry.from_granularity(ElementType.HEX20, ELAST, 6.4e6, 2)
+    su_cpu = method_setup_time("hymv", geo, ELAST, threads=14)["total"]
+    su_gpu = gpu_setup_time(geo, ELAST, threads=14)["total"]
+    assert su_cpu < su_gpu < 1.5 * su_cpu
+
+
+def test_gpu_stream_sweep_8_best():
+    geo = CaseGeometry.from_granularity(ElementType.HEX20, ELAST, 12.7e6, 2)
+    ts = {ns: gpu_spmv_time(geo, ELAST, n_streams=ns) for ns in (1, 2, 4, 8)}
+    assert ts[8] < ts[4] < ts[2] < ts[1]
+
+
+def test_gpu_overlap_schemes_ordering_at_scale():
+    """§V-D: GPU/CPU(O) degrades with more nodes (larger dependent
+    fraction); GPU and GPU/GPU(O) comparable at small scale."""
+    geo = CaseGeometry.from_granularity(
+        ElementType.HEX20, ELAST, 6.3e6, 64, structured=True
+    )
+    t_gpu = gpu_spmv_time(geo, ELAST, scheme="gpu")
+    t_gg = gpu_spmv_time(geo, ELAST, scheme="gpu_gpu_overlap")
+    assert t_gg <= t_gpu * 1.05
+
+
+def test_hymv_gpu_vs_petsc_gpu():
+    """Fig. 9: HYMV-GPU faster than PETSc-GPU in both setup and SPMV."""
+    geo = CaseGeometry.from_granularity(
+        ElementType.HEX27, ELAST, 488e3, 16, structured=False
+    )
+    t_h = gpu_spmv_time(geo, ELAST, threads=4, scheme="gpu_gpu_overlap")
+    t_p = assembled_gpu_spmv_time(geo, ELAST)
+    assert 1.1 < t_p / t_h < 2.5  # paper: 1.5x
+    su_h = gpu_setup_time(geo, ELAST, threads=4)["total"]
+    su_p = assembled_gpu_setup_time(geo, ELAST)
+    assert su_p / su_h > 2.0  # paper: 3.0x
+
+
+def test_roofline_matches_paper_fig10():
+    pts = {p.method: p for p in roofline_points(
+        ElementType.HEX20, ELAST, 1000.0, 4000.0
+    )}
+    for m, (ai, gf) in PAPER_ROOFLINE.items():
+        assert abs(pts[m].arithmetic_intensity / ai - 1) < 0.1, m
+        assert abs(pts[m].gflops / gf - 1) < 0.05, m
+    # orderings the paper highlights
+    assert pts["assembled"].arithmetic_intensity > pts["hymv"].arithmetic_intensity
+    assert pts["matfree"].gflops > pts["hymv"].gflops > pts["assembled"].gflops
+
+
+def test_roofline_ascii_renders():
+    pts = roofline_points(ElementType.HEX20, ELAST, 1000.0, 4000.0)
+    txt = render_ascii(pts)
+    assert "H=hymv" in txt and "M=matfree" in txt
+
+
+def test_geometry_sanity():
+    geo = _geo()
+    assert geo.n_elements > 0 and geo.ghost_nodes < geo.n_nodes
+    g1 = CaseGeometry.from_granularity(ElementType.HEX8, POISSON, 1e4, 1)
+    assert g1.ghost_nodes == 0 and g1.boundary_elements == 0
+    un = CaseGeometry.from_granularity(
+        ElementType.TET10, POISSON, 1e5, 64, structured=False
+    )
+    st_ = CaseGeometry.from_granularity(
+        ElementType.TET10, POISSON, 1e5, 64, structured=True
+    )
+    assert un.ghost_nodes > st_.ghost_nodes
+
+
+def test_unknown_method_raises():
+    geo = _geo()
+    with pytest.raises(ValueError):
+        method_setup_time("petsc", geo, POISSON)
+    with pytest.raises(ValueError):
+        method_spmv_time("petsc", geo, POISSON)
+    with pytest.raises(ValueError):
+        spmv_counters("petsc", ElementType.HEX8, POISSON, 1.0, 1.0)
+    with pytest.raises(ValueError):
+        gpu_spmv_time(geo, POISSON, scheme="nope")

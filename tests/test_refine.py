@@ -1,0 +1,105 @@
+"""Uniform refinement: counts, conformity, geometry and convergence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fem.elemmat import jacobians
+from repro.mesh import ElementType, box_hex_mesh, box_tet_mesh
+from repro.mesh.quadrature import quadrature_for
+from repro.mesh.refine import refine_uniform
+from repro.mesh.shape_functions import shape_functions_for
+from repro.mesh.unstructured import jittered_hex_mesh
+
+
+def _volume(mesh):
+    sf = shape_functions_for(mesh.etype)
+    q = quadrature_for(mesh.etype)
+    _, detJ, _ = jacobians(sf.grad(q.points), mesh.coords[mesh.conn])
+    return float((q.weights[None, :] * detJ).sum())
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: box_hex_mesh(2, 2, 2),
+        lambda: jittered_hex_mesh(2, 2, 2, ElementType.HEX20, jitter=0.15),
+        lambda: jittered_hex_mesh(2, 2, 2, ElementType.HEX27, jitter=0.15),
+        lambda: box_tet_mesh(2, 2, 2, jitter=0.2),
+        lambda: box_tet_mesh(2, 2, 2, ElementType.TET10, jitter=0.2),
+    ],
+)
+def test_refine_8x_elements_volume_conserved(factory):
+    mesh = factory()
+    fine = refine_uniform(mesh)
+    assert fine.etype == mesh.etype
+    assert fine.n_elements == 8 * mesh.n_elements
+    np.testing.assert_allclose(_volume(fine), _volume(mesh), rtol=1e-10)
+
+
+def test_refine_hex8_structured_counts():
+    fine = refine_uniform(box_hex_mesh(2, 2, 2))
+    assert fine.n_nodes == 5**3  # matches a 4^3 structured grid
+    assert np.array_equal(
+        np.unique(fine.conn), np.arange(fine.n_nodes)
+    )
+
+
+def test_refine_tet_conforming_positive():
+    fine = refine_uniform(box_tet_mesh(2, 2, 2, jitter=0.25, seed=3))
+    c = fine.coords[fine.conn]
+    vols = np.linalg.det(c[:, 1:4] - c[:, 0:1]) / 6.0
+    assert (vols > 0).all()
+    from repro.mesh.element import TET_FACES
+
+    keys = np.vstack(
+        [np.sort(fine.conn[:, list(f)], axis=1) for f in TET_FACES]
+    )
+    view = np.ascontiguousarray(keys).view([("", keys.dtype)] * 3).reshape(-1)
+    _, counts = np.unique(view, return_counts=True)
+    assert set(counts.tolist()) <= {1, 2}
+
+
+def test_refine_levels():
+    fine = refine_uniform(box_hex_mesh(1, 1, 1), levels=3)
+    assert fine.n_elements == 512
+    assert refine_uniform(box_hex_mesh(2, 2, 2), levels=0).n_elements == 8
+    with pytest.raises(ValueError):
+        refine_uniform(box_hex_mesh(1, 1, 1), levels=-1)
+
+
+def test_refine_reduces_fem_error():
+    """End-to-end: refining an unstructured tet mesh reduces the Poisson
+    error at the expected rate."""
+    import scipy.sparse.linalg as spla
+
+    from repro.baselines.serial import SerialReference
+    from repro.fem import PoissonOperator
+    from repro.fem.analytic import poisson_exact, poisson_forcing
+    from repro.fem.loads import body_force_rhs_batch
+
+    mesh = box_tet_mesh(3, 3, 3, jitter=0.2)
+    errs = []
+    for level in range(2):
+        m = refine_uniform(mesh, level)
+        ref = SerialReference(m, PoissonOperator())
+        fe = body_force_rhs_batch(
+            m.coords[m.conn], m.etype,
+            lambda x: poisson_forcing(x)[..., None], 1,
+        )
+        f = ref.rhs_from_elemental(fe[:, :, None])
+        u = ref.solve_dirichlet(f, m.boundary_nodes(), np.zeros(ref.n_dofs))
+        errs.append(np.abs(u - poisson_exact(m.coords)).max())
+    assert errs[1] < errs[0] / 2.0
+
+
+def test_refined_quadratic_preserves_midpoints():
+    fine = refine_uniform(
+        box_tet_mesh(2, 2, 2, ElementType.TET10, jitter=0.15)
+    )
+    from repro.mesh.element import TET_EDGES
+
+    c = fine.coords[fine.conn]
+    for k, (i, j) in enumerate(TET_EDGES):
+        np.testing.assert_allclose(c[:, 4 + k], (c[:, i] + c[:, j]) / 2.0)

@@ -1,0 +1,207 @@
+"""Simulated MPI runtime: semantics, determinism, virtual time."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simmpi import NetworkModel, Simulator, run_spmd
+
+
+def test_point_to_point_roundtrip():
+    def prog(comm):
+        nxt, prv = (comm.rank + 1) % comm.size, (comm.rank - 1) % comm.size
+        comm.isend(np.arange(5) + comm.rank, nxt, tag=3)
+        got = comm.recv(prv, tag=3)
+        np.testing.assert_array_equal(got, np.arange(5) + prv)
+        return True
+
+    res, _ = run_spmd(6, prog)
+    assert all(res)
+
+
+def test_message_payload_is_copied():
+    def prog(comm):
+        if comm.rank == 0:
+            buf = np.ones(4)
+            comm.isend(buf, 1)
+            buf[:] = -1.0  # mutate after send: receiver must see ones
+            comm.barrier()
+            return None
+        got = comm.recv(0)
+        comm.barrier()
+        return got
+
+    res, _ = run_spmd(2, prog)
+    np.testing.assert_array_equal(res[1], np.ones(4))
+
+
+def test_fifo_ordering_same_source_tag():
+    def prog(comm):
+        if comm.rank == 0:
+            for i in range(5):
+                comm.isend(np.array([i]), 1, tag=9)
+            return None
+        return [int(comm.recv(0, tag=9)[0]) for _ in range(5)]
+
+    res, _ = run_spmd(2, prog)
+    assert res[1] == [0, 1, 2, 3, 4]
+
+
+def test_collectives_values_and_determinism():
+    def prog(comm):
+        s = comm.allreduce(comm.rank + 1.5)
+        mx = comm.allreduce(float(comm.rank), op="max")
+        mn = comm.allreduce(float(comm.rank), op="min")
+        g = comm.allgather(comm.rank * 2)
+        b = comm.bcast("hello" if comm.rank == 2 else None, root=2)
+        return s, mx, mn, g, b
+
+    for _ in range(3):  # determinism across repeated runs
+        res, _ = run_spmd(5, prog)
+        for s, mx, mn, g, b in res:
+            assert s == sum(r + 1.5 for r in range(5))
+            assert mx == 4.0 and mn == 0.0
+            assert g == [0, 2, 4, 6, 8]
+            assert b == "hello"
+
+
+def test_allreduce_array():
+    def prog(comm):
+        return comm.allreduce(np.full(3, float(comm.rank)))
+
+    res, _ = run_spmd(4, prog)
+    np.testing.assert_allclose(res[0], np.full(3, 6.0))
+
+
+def test_alltoall_personalized():
+    def prog(comm):
+        out = comm.alltoall(
+            [np.array([comm.rank * 100 + d]) for d in range(comm.size)]
+        )
+        return [int(v[0]) for v in out]
+
+    res, _ = run_spmd(4, prog)
+    for r, row in enumerate(res):
+        assert row == [s * 100 + r for s in range(4)]
+
+
+def test_exception_propagates_and_aborts_peers():
+    def prog(comm):
+        if comm.rank == 1:
+            raise KeyError("rank1 failure")
+        comm.recv(1)  # would deadlock without the abort path
+
+    with pytest.raises(KeyError):
+        run_spmd(3, prog)
+
+
+def test_unreceived_messages_flagged():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.isend(np.zeros(1), 1)
+        comm.barrier()
+
+    with pytest.raises(RuntimeError, match="unreceived"):
+        run_spmd(2, prog)
+
+
+def test_virtual_time_monotone_and_message_causality():
+    def prog(comm):
+        marks = [comm.vtime]
+        if comm.rank == 0:
+            comm.advance(0.5, "work")
+            comm.isend(np.zeros(1), 1)
+            marks.append(comm.vtime)
+        else:
+            got = comm.recv(0)
+            marks.append(comm.vtime)
+        comm.barrier()
+        marks.append(comm.vtime)
+        return marks
+
+    res, sim = run_spmd(2, prog)
+    for marks in res:
+        assert all(b >= a for a, b in zip(marks, marks[1:]))
+    # receiver cannot complete before the send was posted (t=0.5)
+    assert res[1][1] >= 0.5
+    # barrier synchronizes clocks
+    assert abs(res[0][-1] - res[1][-1]) < 1e-12
+
+
+def test_overlap_reduces_total_time():
+    def prog(comm, do_overlap):
+        if comm.rank == 0:
+            comm.isend(np.zeros(1_000_000), 1)
+            comm.barrier()
+        else:
+            req = comm.irecv(0)
+            if do_overlap:
+                comm.advance(0.01, "compute")
+                comm.wait(req)
+            else:
+                comm.wait(req)
+                comm.advance(0.01, "compute")
+            comm.barrier()
+
+    _, s1 = run_spmd(2, prog, do_overlap=True)
+    _, s2 = run_spmd(2, prog, do_overlap=False)
+    assert s1.max_vtime < s2.max_vtime
+
+
+def test_compute_context_measures_and_labels():
+    def prog(comm):
+        with comm.compute("kernel"):
+            np.ones(200_000) @ np.ones(200_000)
+        return comm.timing.total("kernel")
+
+    res, _ = run_spmd(2, prog)
+    assert all(t > 0 for t in res)
+
+
+def test_compute_scale_applied():
+    def prog(comm):
+        with comm.compute("k"):
+            np.ones(100_000) @ np.ones(100_000)
+        return comm.vtime
+
+    _, s1 = run_spmd(1, prog, compute_scale=1.0)
+    _, s2 = run_spmd(1, prog, compute_scale=0.0)
+    assert s2.max_vtime == 0.0
+    assert s1.max_vtime > 0.0
+
+
+def test_network_model_topology():
+    net = NetworkModel(cores_per_node=4)
+    assert net.same_node(0, 3) and not net.same_node(3, 4)
+    intra = net.msg_time(0, 1, 8000)
+    inter = net.msg_time(0, 5, 8000)
+    assert inter > intra
+    assert net.allreduce_time(1, 8) == 0.0
+    assert net.allreduce_time(16, 8) == 4 * net.allreduce_time(2, 8)
+
+
+def test_invalid_ranks_rejected():
+    def prog(comm):
+        with pytest.raises(ValueError):
+            comm.isend(np.zeros(1), comm.size)
+        with pytest.raises(ValueError):
+            comm.irecv(-1)
+        comm.barrier()
+
+    run_spmd(2, prog)
+
+
+def test_simulator_rank_bounds():
+    with pytest.raises(ValueError):
+        Simulator(0)
+    with pytest.raises(ValueError):
+        Simulator(100000)
+
+
+def test_advance_rejects_negative():
+    def prog(comm):
+        with pytest.raises(ValueError):
+            comm.advance(-1.0)
+
+    run_spmd(1, prog)
