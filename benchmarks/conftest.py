@@ -9,6 +9,14 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ carries the ``benchmark`` marker."""
+    here = pathlib.Path(__file__).parent
+    for item in items:
+        if here in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.benchmark)
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)

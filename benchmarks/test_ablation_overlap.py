@@ -48,7 +48,7 @@ def table(save_tables):
             )
             t.add_row(
                 p, overlap, b.spmv_time,
-                b.breakdown.get("spmv.scatter_wait", 0.0),
+                b.breakdown.get("spmv.scatter.wait", 0.0),
             )
     save_tables("ablation_overlap", [t])
     return t
@@ -68,7 +68,6 @@ def test_overlap_reduces_exposed_wait_and_time(table):
 def test_dependent_fraction_grows_with_parts():
     """The mechanism behind §V-D's GPU/CPU(O) degradation: more ranks ⇒
     larger dependent-element fraction."""
-    import numpy as np
 
     from repro.core.maps import build_node_maps
     from repro.partition import build_partition

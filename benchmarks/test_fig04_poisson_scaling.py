@@ -9,9 +9,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.harness.fig04 import run as run_fig04
 from repro.harness.driver import run_bench
+from repro.harness.fig04 import run as run_fig04
 from repro.problems import poisson_problem
+
+pytestmark = pytest.mark.slow
 
 
 @pytest.fixture(scope="module")

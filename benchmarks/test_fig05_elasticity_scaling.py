@@ -11,6 +11,8 @@ from repro.harness.fig05 import run as run_fig05
 from repro.mesh import ElementType
 from repro.problems import elastic_bar_problem
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def tables():

@@ -11,6 +11,8 @@ from repro.harness.fig07 import run as run_fig07
 from repro.mesh import ElementType
 from repro.problems import poisson_problem
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def tables():

@@ -10,6 +10,8 @@ from repro.harness.fig11 import run as run_fig11
 from repro.mesh import ElementType
 from repro.problems import elastic_bar_problem
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def tables():

@@ -15,6 +15,8 @@ from repro.harness.driver import run_bench
 from repro.problems import poisson_problem
 from repro.util.tables import ResultTable
 
+pytestmark = pytest.mark.slow
+
 P_LIST = [4, 8, 16, 32]
 
 

@@ -15,7 +15,6 @@ Walks the full pipeline the paper describes:
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
 
 from repro.harness import run_solve
 from repro.mesh import ElementType

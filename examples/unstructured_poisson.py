@@ -6,7 +6,6 @@ comparison where the assembled approach suffers most.
 Run:  python examples/unstructured_poisson.py
 """
 
-import numpy as np
 
 from repro.harness import run_solve
 from repro.harness.driver import run_bench

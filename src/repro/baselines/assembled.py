@@ -137,18 +137,19 @@ class AssembledOperator:
         u = self._work_u
         u.set_owned(x)
         reqs = scatter_begin(comm, u.data, self.cmaps)
-        with comm.compute("spmv.csr_diag"):
+        with comm.compute("spmv.csr.diag"):
             y = self.A_diag @ u.owned_flat
         tw = comm.vtime
         scatter_end(comm, u.data, self.cmaps, reqs)
-        comm.timing.add("spmv.scatter_wait", comm.vtime - tw)
-        with comm.compute("spmv.csr_halo"):
+        comm.timing.add("spmv.scatter.wait", comm.vtime - tw)
+        with comm.compute("spmv.csr.halo"):
             npre = self.maps.n_pre * self.ndpn
             if self.A_pre.shape[1]:
                 y += self.A_pre @ u.data.reshape(-1)[:npre]
             if self.A_post.shape[1]:
                 off = npre + self.n_dofs_owned
                 y += self.A_post @ u.data.reshape(-1)[off:]
+        comm.obs.incr("spmv.flops", 2.0 * self.nnz)
         comm.timing.add("spmv.total", comm.vtime - t0)
         self.spmv_count += 1
         return y

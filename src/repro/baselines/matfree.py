@@ -20,9 +20,12 @@ class MatrixFreeOperator(EbeOperatorBase):
     """Algorithm 4: recompute ``Ke`` in every elemental sweep."""
 
     def _element_matrices(self, sl: slice) -> np.ndarray:
-        return self.operator.element_matrices(
-            self._coords_perm[sl], self.etype
+        ke = self.operator.element_matrices(self._coords_perm[sl], self.etype)
+        self.comm.obs.incr("spmv.ke_recomputed", ke.shape[0])
+        self.comm.obs.incr(
+            "spmv.ke_flops", ke.shape[0] * self.operator.ke_flops(self.etype)
         )
+        return ke
 
     def flops_per_spmv(self) -> float:
         """EMV flops plus the per-product element-matrix recomputation."""

@@ -95,7 +95,7 @@ class PartialAssemblyOperator(EbeOperatorBase):
             flops = self.flops_per_spmv() / max(self.n_local_elements, 1)
             self.comm.advance(
                 idx.shape[0] * flops / (self.modeled_rate_gflops * 1e9),
-                "spmv.emv_modeled",
+                "spmv.emv.modeled",
             )
 
     def _apply_poisson(self, sl, ue):

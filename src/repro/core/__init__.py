@@ -15,6 +15,8 @@
 * :mod:`repro.core.flops` — flop/byte counters feeding Table I and Fig. 10.
 """
 
+from repro.core.da import DistributedArray
+from repro.core.hymv import HymvOperator
 from repro.core.maps import NodeMaps, build_node_maps
 from repro.core.scatter import (
     CommMaps,
@@ -24,8 +26,6 @@ from repro.core.scatter import (
     scatter_begin,
     scatter_end,
 )
-from repro.core.da import DistributedArray
-from repro.core.hymv import HymvOperator
 
 __all__ = [
     "NodeMaps",

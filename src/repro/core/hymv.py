@@ -130,10 +130,12 @@ class EbeOperatorBase:
         ue = gather_element_vectors(uf, idx)
         ve = self.kernel(ke, ue)
         accumulate_element_vectors(vf, idx, ve)
+        flops = idx.shape[0] * self.operator.emv_flops(self.etype)
+        self.comm.obs.incr("spmv.elements", idx.shape[0])
+        self.comm.obs.incr("spmv.flops", flops)
         if self.modeled_rate_gflops:
-            flops = idx.shape[0] * self.operator.emv_flops(self.etype)
             self.comm.advance(
-                flops / (self.modeled_rate_gflops * 1e9), "spmv.emv_modeled"
+                flops / (self.modeled_rate_gflops * 1e9), "spmv.emv.modeled"
             )
 
     # -- Algorithm 2 ------------------------------------------------------
@@ -156,18 +158,18 @@ class EbeOperatorBase:
         v.data[:] = 0.0
         if overlap:
             reqs = scatter_begin(comm, u.data, self.cmaps)
-            with comm.compute("spmv.emv_independent"):
+            with comm.compute("spmv.emv.independent"):
                 self._emv_sweep(u, v, self._sl_indep)
             tw = comm.vtime
             scatter_end(comm, u.data, self.cmaps, reqs)
-            comm.timing.add("spmv.scatter_wait", comm.vtime - tw)
-            with comm.compute("spmv.emv_dependent"):
+            comm.timing.add("spmv.scatter.wait", comm.vtime - tw)
+            with comm.compute("spmv.emv.dependent"):
                 self._emv_sweep(u, v, self._sl_dep)
         else:
             tw = comm.vtime
             scatter(comm, u.data, self.cmaps)
-            comm.timing.add("spmv.scatter_wait", comm.vtime - tw)
-            with comm.compute("spmv.emv_all"):
+            comm.timing.add("spmv.scatter.wait", comm.vtime - tw)
+            with comm.compute("spmv.emv.all"):
                 self._emv_sweep(u, v, self._sl_all)
         tg = comm.vtime
         greqs = gather_begin(comm, v.data, self.cmaps)

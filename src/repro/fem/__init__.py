@@ -8,20 +8,20 @@ elasticity — plus right-hand sides, Dirichlet-condition helpers and the
 manufactured/analytic solutions used for correctness verification (§V-B).
 """
 
-from repro.fem.material import IsotropicElasticity
-from repro.fem.operators import (
-    ElasticityOperator,
-    Operator,
-    PoissonOperator,
-)
 from repro.fem.analytic import (
     bar_body_force,
     bar_exact_displacement,
     poisson_exact,
     poisson_forcing,
 )
-from repro.fem.loads import body_force_rhs_batch, traction_rhs_batch
 from repro.fem.dirichlet import DirichletBC
+from repro.fem.loads import body_force_rhs_batch, traction_rhs_batch
+from repro.fem.material import IsotropicElasticity
+from repro.fem.operators import (
+    ElasticityOperator,
+    Operator,
+    PoissonOperator,
+)
 
 __all__ = [
     "IsotropicElasticity",

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.mesh.element import ElementType
 from repro.mesh.quadrature import QuadratureRule, quadrature_for
-from repro.mesh.shape_functions import ShapeFunctions, shape_functions_for
+from repro.mesh.shape_functions import shape_functions_for
 from repro.util.arrays import as_f64
 
 __all__ = [

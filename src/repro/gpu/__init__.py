@@ -17,8 +17,8 @@ Components:
   cuSPARSE substitute); both plug into the solve/bench drivers.
 """
 
-from repro.gpu.streams import StreamEvent, StreamScheduler
 from repro.gpu.hymv_gpu import AssembledGpuOperator, HymvGpuOperator
+from repro.gpu.streams import StreamEvent, StreamScheduler
 
 __all__ = [
     "StreamEvent",

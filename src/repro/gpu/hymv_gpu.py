@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.baselines.assembled import AssembledOperator
 from repro.core.da import DistributedArray
 from repro.core.hymv import HymvOperator
 from repro.core.kernels import (
@@ -31,7 +32,6 @@ from repro.core.scatter import (
     scatter_begin,
     scatter_end,
 )
-from repro.baselines.assembled import AssembledOperator
 from repro.gpu.streams import StreamScheduler
 from repro.perfmodel.machine import FRONTERA, GPU_NODE, FronteraMachine, GpuModel
 
@@ -103,6 +103,12 @@ class HymvGpuOperator(HymvOperator):
             d2h_bytes=ue.nbytes,
         )
         self.last_timeline = sched
+        obs = self.comm.obs
+        obs.incr("gpu.h2d_bytes", ue.nbytes)
+        obs.incr("gpu.d2h_bytes", ue.nbytes)
+        obs.incr("gpu.kernel_flops", 2.0 * E * nd * nd)
+        obs.incr("gpu.batches")
+        sched.export_events(obs, t_offset=self.comm.vtime)
         ve = self.kernel(ke, ue)  # the actual math (device-equivalent)
         # host: accumulate bve, Alg. 3 line 8
         accumulate_element_vectors(vf, idx, ve)
@@ -127,20 +133,20 @@ class HymvGpuOperator(HymvOperator):
         elif scheme == "gpu_gpu_overlap":
             reqs = scatter_begin(comm, u.data, self.cmaps)
             comm.advance(
-                self._device_sweep(u, v, self._sl_indep), "spmv.gpu_indep"
+                self._device_sweep(u, v, self._sl_indep), "spmv.gpu.independent"
             )
             scatter_end(comm, u.data, self.cmaps, reqs)
             comm.advance(
-                self._device_sweep(u, v, self._sl_dep), "spmv.gpu_dep"
+                self._device_sweep(u, v, self._sl_dep), "spmv.gpu.dependent"
             )
         else:  # gpu_cpu_overlap: dependent elements on the host CPU
             reqs = scatter_begin(comm, u.data, self.cmaps)
             comm.advance(
-                self._device_sweep(u, v, self._sl_indep), "spmv.gpu_indep"
+                self._device_sweep(u, v, self._sl_indep), "spmv.gpu.independent"
             )
             scatter_end(comm, u.data, self.cmaps, reqs)
             t_cpu = self._cpu_sweep(u, v, self._sl_dep)
-            comm.advance(t_cpu, "spmv.cpu_dep")
+            comm.advance(t_cpu, "spmv.cpu.dependent")
         greqs = gather_begin(comm, v.data, self.cmaps)
         gather_end(comm, v.data, self.cmaps, greqs)
         comm.timing.add("spmv.total", comm.vtime - t0)
@@ -198,9 +204,9 @@ class AssembledGpuOperator(AssembledOperator):
         # halo staged through the host: D2H of owned boundary values,
         # MPI exchange, H2D of received ghosts
         ghost_bytes = sum(s.size for s in self.cmaps.recv_slots) * self.ndpn * 8.0
-        comm.advance(ghost_bytes / (self.gpu.pcie_gbps * 1e9), "spmv.halo_d2h")
+        comm.advance(ghost_bytes / (self.gpu.pcie_gbps * 1e9), "spmv.halo.d2h")
         scatter(comm, u.data, self.cmaps)
-        comm.advance(ghost_bytes / (self.gpu.pcie_gbps * 1e9), "spmv.halo_h2d")
+        comm.advance(ghost_bytes / (self.gpu.pcie_gbps * 1e9), "spmv.halo.h2d")
         npre = self.maps.n_pre * self.ndpn
         y = self.A_diag @ u.owned_flat
         if self.A_pre.shape[1]:

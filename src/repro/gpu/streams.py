@@ -91,6 +91,25 @@ class StreamScheduler:
     def makespan(self) -> float:
         return max((e.end for e in self.events), default=0.0)
 
+    def export_events(self, obs, t_offset: float = 0.0, prefix: str = "gpu"):
+        """Append the scheduled device segments to an
+        :class:`repro.obs.Instrumentation` event stream.
+
+        Each segment becomes a ``{prefix}.s{stream}.{kind}`` interval of
+        kind ``"gpu"`` offset by ``t_offset`` (the virtual time at which
+        the batch was issued), so device pipelines line up with the rank
+        timeline in :func:`repro.simmpi.trace.render_gantt` exports.
+        """
+        for e in self.events:
+            obs.event(
+                f"{prefix}.s{e.stream}.{e.kind}",
+                t_offset + e.start,
+                t_offset + e.end,
+                kind="gpu",
+                stream=e.stream,
+                chunk=e.chunk,
+            )
+
     def busy_time(self, kind: str) -> float:
         return sum(e.duration for e in self.events if e.kind == kind)
 

@@ -1,4 +1,4 @@
-"""Regenerate the paper's tables and figures.
+"""Regenerate the paper's tables and figures, or run the CI smoke bench.
 
 Usage::
 
@@ -6,6 +6,8 @@ Usage::
     python -m repro.harness fig7 fig10      # a subset
     python -m repro.harness --scale paper   # paper-scale modeled series
     python -m repro.harness --out results/  # also write one .txt per exp
+    python -m repro.harness bench           # smoke bench -> BENCH_smoke.json
+    python -m repro.harness bench --repeats 3 --out BENCH_smoke.json
 """
 
 from __future__ import annotations
@@ -19,6 +21,12 @@ from repro.util.tables import render_many
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        from repro.obs.bench import main as bench_main
+
+        return bench_main(argv[1:])
     ap = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Reproduce the paper's tables and figures",

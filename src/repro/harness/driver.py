@@ -28,6 +28,7 @@ from repro.core.hymv import HymvOperator
 from repro.core.maps import build_node_maps
 from repro.core.rhs import assemble_rhs, local_node_coords
 from repro.core.scatter import build_comm_maps
+from repro.obs.instrumentation import merge_snapshots
 from repro.problems import ProblemSpec
 from repro.simmpi.engine import run_spmd
 from repro.simmpi.network import NetworkModel
@@ -94,6 +95,9 @@ class BenchResult:
     breakdown: dict[str, float] = field(default_factory=dict)
     flops_spmv: float = 0.0  # global flops of `n_spmv` products
     stored_bytes: int = 0
+    #: merged per-rank observability snapshot (phases incl. wall time,
+    #: counters) — see :func:`repro.obs.instrumentation.merge_snapshots`
+    obs: dict = field(default_factory=dict)
 
     @property
     def gflops_rate(self) -> float:
@@ -132,6 +136,7 @@ def _bench_program(comm, lmesh, kind, n_spmv, overlap, options, seed):
         "setup": setup_time,
         "spmv": spmv_time,
         "timing": comm.timing.as_dict(),
+        "obs": comm.obs.snapshot(),
         "flops": flops,
         "stored": stored,
         "checksum": float(np.sum(y)),
@@ -181,6 +186,7 @@ def run_bench(
         breakdown=breakdown,
         flops_spmv=sum(r["flops"] for r in results),
         stored_bytes=sum(r["stored"] for r in results),
+        obs=merge_snapshots([r["obs"] for r in results]),
     )
 
 
@@ -203,6 +209,8 @@ class SolveOutcome:
     total_time: float
     err_inf: float  # vs analytic solution, inf-norm over all owned dofs
     breakdown: dict[str, float] = field(default_factory=dict)
+    #: merged per-rank observability snapshot (phases + counters)
+    obs: dict = field(default_factory=dict)
     #: concatenated owned solution blocks in renumbered dof order (only
     #: populated when run_solve(..., return_solution=True))
     solution: np.ndarray | None = None
@@ -285,6 +293,7 @@ def _solve_program(comm, lmesh, tractions, kind, precond, rtol, maxiter, options
         "total": comm.vtime,
         "err": err,
         "timing": comm.timing.as_dict(),
+        "obs": comm.obs.snapshot(),
     }
 
 
@@ -344,5 +353,6 @@ def run_solve(
         total_time=max(r["total"] for r in results),
         err_inf=r0["err"],
         breakdown=breakdown,
+        obs=merge_snapshots([r["obs"] for r in results]),
         solution=solution,
     )

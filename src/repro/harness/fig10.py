@@ -9,7 +9,6 @@ AVX-512 C++ kernels).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.fem.operators import ElasticityOperator
 from repro.harness.driver import run_bench

@@ -14,15 +14,15 @@ generated with Gmsh).  This package provides equivalents built from scratch:
   jittered quadratic hex meshes.
 """
 
+from repro.mesh.adapt import refine_local
 from repro.mesh.element import ElementType
 from repro.mesh.mesh import Mesh
 from repro.mesh.quadrature import QuadratureRule, quadrature_for
+from repro.mesh.quality import mesh_quality
+from repro.mesh.refine import refine_uniform
 from repro.mesh.shape_functions import shape_functions_for
 from repro.mesh.structured import box_hex_mesh
 from repro.mesh.unstructured import box_tet_mesh, jittered_hex_mesh
-from repro.mesh.refine import refine_uniform
-from repro.mesh.adapt import refine_local
-from repro.mesh.quality import mesh_quality
 
 __all__ = [
     "ElementType",

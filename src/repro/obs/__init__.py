@@ -1,0 +1,37 @@
+"""Unified observability: phase timers, counters, traces, bench gating.
+
+* :mod:`repro.obs.instrumentation` — the per-rank/process registry.
+* :mod:`repro.obs.schema` — the versioned ``BENCH_*.json`` document shape.
+* :mod:`repro.obs.bench` — the CI smoke-bench suite (``python -m
+  repro.harness bench``).
+* :mod:`repro.obs.compare` — the perf gate (``python -m repro.obs.compare
+  baseline.json candidate.json``).
+"""
+
+from repro.obs.instrumentation import (
+    Instrumentation,
+    PhaseStats,
+    TraceEvent,
+    get_instrumentation,
+    merge_snapshots,
+    reset_instrumentation,
+)
+from repro.obs.schema import (
+    BENCH_SCHEMA,
+    SchemaError,
+    machine_fingerprint,
+    validate_bench_doc,
+)
+
+__all__ = [
+    "Instrumentation",
+    "PhaseStats",
+    "TraceEvent",
+    "get_instrumentation",
+    "merge_snapshots",
+    "reset_instrumentation",
+    "BENCH_SCHEMA",
+    "SchemaError",
+    "machine_fingerprint",
+    "validate_bench_doc",
+]

@@ -1,0 +1,208 @@
+"""The perf gate: diff two bench documents against tolerance budgets.
+
+``python -m repro.obs.compare baseline.json candidate.json`` compares
+every shared ``(case, method)`` result phase-by-phase and exits nonzero
+when the candidate exceeds the baseline by more than the relative budget
+(plus a small absolute floor that keeps sub-microsecond phases from
+flaking).  Counter *increases* beyond their own budget also fail — more
+bytes on the wire or more elements swept for the same problem is a
+regression even if the modeled clock hides it.
+
+Exit codes: ``0`` pass, ``1`` regression, ``2`` bad input/schema.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.schema import SchemaError, result_key, validate_bench_doc
+
+__all__ = ["Finding", "compare_docs", "main"]
+
+#: phases below this baseline magnitude (seconds) are never gated —
+#: relative noise on a ~0s phase is meaningless
+ABS_FLOOR_S = 5e-6
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One comparison outcome (regression, improvement, or note)."""
+
+    severity: str  # "fail" | "warn" | "info"
+    where: str  # "case/method phase-or-counter"
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.where}: {self.message}"
+
+
+def _compare_phases(
+    key: str,
+    base: dict[str, Any],
+    cand: dict[str, Any],
+    budget: float,
+    findings: list[Finding],
+) -> None:
+    for label, bstats in base["phases"].items():
+        cstats = cand["phases"].get(label)
+        if cstats is None:
+            findings.append(
+                Finding("warn", f"{key} {label}", "phase missing in candidate")
+            )
+            continue
+        b, c = bstats["median"], cstats["median"]
+        if b <= ABS_FLOOR_S:
+            continue
+        rel = (c - b) / b
+        if c > b * (1.0 + budget) + ABS_FLOOR_S:
+            findings.append(
+                Finding(
+                    "fail",
+                    f"{key} {label}",
+                    f"{b * 1e3:.4f} ms -> {c * 1e3:.4f} ms "
+                    f"(+{rel * 100:.1f}% > budget +{budget * 100:.0f}%)",
+                )
+            )
+        elif rel < -budget:
+            findings.append(
+                Finding(
+                    "info",
+                    f"{key} {label}",
+                    f"improved {b * 1e3:.4f} ms -> {c * 1e3:.4f} ms "
+                    f"({rel * 100:.1f}%)",
+                )
+            )
+
+
+def _compare_counters(
+    key: str,
+    base: dict[str, Any],
+    cand: dict[str, Any],
+    counter_budget: float,
+    findings: list[Finding],
+) -> None:
+    for name, b in base["counters"].items():
+        c = cand["counters"].get(name)
+        if c is None:
+            findings.append(
+                Finding("warn", f"{key} {name}", "counter missing in candidate")
+            )
+            continue
+        if b <= 0:
+            continue
+        rel = (c - b) / b
+        if rel > counter_budget:
+            findings.append(
+                Finding(
+                    "fail",
+                    f"{key} {name}",
+                    f"{b:.6g} -> {c:.6g} "
+                    f"(+{rel * 100:.2f}% > budget +{counter_budget * 100:.0f}%)",
+                )
+            )
+        elif rel < -counter_budget:
+            findings.append(
+                Finding("info", f"{key} {name}", f"decreased {b:.6g} -> {c:.6g}")
+            )
+
+
+def compare_docs(
+    base_doc: dict[str, Any],
+    cand_doc: dict[str, Any],
+    budget: float = 0.25,
+    counter_budget: float = 0.01,
+) -> tuple[bool, list[Finding]]:
+    """Compare candidate against baseline; returns ``(ok, findings)``.
+
+    ``budget`` is the allowed relative increase of any phase median;
+    ``counter_budget`` the allowed relative increase of any counter.
+    """
+    validate_bench_doc(base_doc)
+    validate_bench_doc(cand_doc)
+    findings: list[Finding] = []
+    cand_by_key = {result_key(r): r for r in cand_doc["results"]}
+    for base in base_doc["results"]:
+        key = result_key(base)
+        cand = cand_by_key.get(key)
+        if cand is None:
+            findings.append(
+                Finding("fail", key, "result missing in candidate")
+            )
+            continue
+        if cand["n_dofs"] != base["n_dofs"] or cand["n_parts"] != base["n_parts"]:
+            findings.append(
+                Finding(
+                    "warn",
+                    key,
+                    f"problem shape changed "
+                    f"({base['n_dofs']} dofs/{base['n_parts']} parts -> "
+                    f"{cand['n_dofs']}/{cand['n_parts']}); skipping",
+                )
+            )
+            continue
+        _compare_phases(key, base, cand, budget, findings)
+        _compare_counters(key, base, cand, counter_budget, findings)
+    ok = not any(f.severity == "fail" for f in findings)
+    return ok, findings
+
+
+def _load(path: pathlib.Path) -> dict[str, Any]:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SchemaError(f"no such bench file: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"{path}: not valid JSON ({exc})") from None
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.obs.compare",
+        description="Diff two bench JSONs against perf budgets",
+    )
+    ap.add_argument("baseline", type=pathlib.Path)
+    ap.add_argument("candidate", type=pathlib.Path)
+    ap.add_argument(
+        "--budget",
+        type=float,
+        default=0.25,
+        help="allowed relative phase-median increase (default 0.25)",
+    )
+    ap.add_argument(
+        "--counter-budget",
+        type=float,
+        default=0.01,
+        help="allowed relative counter increase (default 0.01)",
+    )
+    args = ap.parse_args(argv)
+
+    try:
+        base = validate_bench_doc(_load(args.baseline))
+        cand = validate_bench_doc(_load(args.candidate))
+        ok, findings = compare_docs(
+            base, cand, budget=args.budget, counter_budget=args.counter_budget
+        )
+    except SchemaError as exc:
+        print(f"[compare] error: {exc}", file=sys.stderr)
+        return 2
+    for f in findings:
+        stream = sys.stderr if f.severity == "fail" else sys.stdout
+        print(str(f), file=stream)
+    n_fail = sum(1 for f in findings if f.severity == "fail")
+    if ok:
+        print(
+            f"[compare] OK — {len(base['results'])} results within "
+            f"+{args.budget * 100:.0f}% budgets"
+        )
+        return 0
+    print(f"[compare] FAIL — {n_fail} regression(s)", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Bench-document schema: versioning, machine fingerprint, validation.
+
+``BENCH_smoke.json`` is the machine-readable artifact the CI perf gate
+exchanges between runs, so its shape is versioned and validated on both
+the write path (:mod:`repro.obs.bench`) and the read path
+(:mod:`repro.obs.compare`).  The schema is deliberately flat: a list of
+``(case, method)`` results, each with per-phase statistics over repeats
+and summed counters.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import socket
+import time
+from typing import Any
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "SchemaError",
+    "machine_fingerprint",
+    "new_bench_doc",
+    "validate_bench_doc",
+]
+
+#: Schema identifier; bump the trailing integer on breaking changes.
+BENCH_SCHEMA = "repro.bench/1"
+
+_PHASE_STAT_KEYS = ("median", "min", "max", "repeats")
+_RESULT_REQUIRED = ("case", "method", "n_parts", "n_dofs", "phases", "counters")
+
+
+class SchemaError(ValueError):
+    """A bench document does not conform to :data:`BENCH_SCHEMA`."""
+
+
+def machine_fingerprint() -> dict[str, Any]:
+    """Identify the machine a bench document was produced on."""
+    import numpy
+    import scipy
+
+    return {
+        "hostname": socket.gethostname(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def new_bench_doc(
+    suite: str,
+    repeats: int,
+    config: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """An empty, schema-conforming bench document."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "suite": suite,
+        "repeats": int(repeats),
+        "created_unix": time.time(),
+        "machine": machine_fingerprint(),
+        "config": dict(config or {}),
+        "results": [],
+    }
+
+
+def validate_bench_doc(doc: Any) -> dict[str, Any]:
+    """Validate a parsed bench document; returns it on success.
+
+    Raises :class:`SchemaError` with a pin-pointed message otherwise.
+    """
+    if not isinstance(doc, dict):
+        raise SchemaError(f"bench doc must be an object, got {type(doc).__name__}")
+    schema = doc.get("schema")
+    if schema != BENCH_SCHEMA:
+        raise SchemaError(
+            f"unsupported schema {schema!r} (expected {BENCH_SCHEMA!r})"
+        )
+    for key in ("suite", "repeats", "machine", "results"):
+        if key not in doc:
+            raise SchemaError(f"bench doc missing key {key!r}")
+    if not isinstance(doc["results"], list):
+        raise SchemaError("'results' must be a list")
+    for i, res in enumerate(doc["results"]):
+        where = f"results[{i}]"
+        if not isinstance(res, dict):
+            raise SchemaError(f"{where} must be an object")
+        for key in _RESULT_REQUIRED:
+            if key not in res:
+                raise SchemaError(f"{where} missing key {key!r}")
+        if not isinstance(res["phases"], dict):
+            raise SchemaError(f"{where}.phases must be an object")
+        for label, stats in res["phases"].items():
+            if not isinstance(stats, dict):
+                raise SchemaError(f"{where}.phases[{label!r}] must be an object")
+            for key in _PHASE_STAT_KEYS:
+                if key not in stats:
+                    raise SchemaError(
+                        f"{where}.phases[{label!r}] missing key {key!r}"
+                    )
+        if not isinstance(res["counters"], dict):
+            raise SchemaError(f"{where}.counters must be an object")
+    return doc
+
+
+def result_key(res: dict[str, Any]) -> str:
+    """Stable identity of one result row: ``case/method``."""
+    return f"{res['case']}/{res['method']}"

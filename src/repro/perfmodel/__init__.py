@@ -18,13 +18,13 @@ cores, multi-GPU nodes) with a calibrated cost model:
 * :mod:`repro.perfmodel.roofline` — Fig. 10 (AI, GFLOP/s) placement.
 """
 
-from repro.perfmodel.machine import FRONTERA, GPU_NODE, FronteraMachine, GpuModel
 from repro.perfmodel.counters import MethodCounters, spmv_counters
 from repro.perfmodel.costs import (
     CaseGeometry,
     method_setup_time,
     method_spmv_time,
 )
+from repro.perfmodel.machine import FRONTERA, GPU_NODE, FronteraMachine, GpuModel
 from repro.perfmodel.scaling import strong_scaling_series, weak_scaling_series
 
 __all__ = [

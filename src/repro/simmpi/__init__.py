@@ -20,8 +20,8 @@ The scaling *shape* experiments use these virtual clocks; correctness tests
 use the payloads.
 """
 
-from repro.simmpi.network import NetworkModel
-from repro.simmpi.engine import Simulator, run_spmd
 from repro.simmpi.communicator import Communicator, Request
+from repro.simmpi.engine import Simulator, run_spmd
+from repro.simmpi.network import NetworkModel
 
 __all__ = ["NetworkModel", "Simulator", "run_spmd", "Communicator", "Request"]

@@ -4,6 +4,14 @@ virtual-time accounting.
 The API deliberately mirrors the mpi4py idioms used in distributed FEM
 codes (``isend``/``irecv``/``waitall``, ``allreduce``, ``alltoall``) so the
 HYMV algorithms read like their C++/MPI counterparts in the paper.
+
+Every communicator owns an :class:`repro.obs.Instrumentation`: compute
+sections and modeled advances record dotted phases, point-to-point calls
+count per-message bytes and wait time, and — with ``Simulator(trace=True)``
+— each interval lands on the structured event stream that
+:func:`repro.simmpi.trace.render_gantt` renders.  ``comm.timing`` is the
+same object (the instrumentation implements the legacy ``TimingRecord``
+API), so existing call sites keep working.
 """
 
 from __future__ import annotations
@@ -12,13 +20,13 @@ import threading
 import time
 from collections import deque
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
+from repro.obs.instrumentation import Instrumentation
 from repro.simmpi.network import NetworkModel
-from repro.util.timer import TimingRecord
 
 __all__ = ["Communicator", "Request"]
 
@@ -101,14 +109,27 @@ class Communicator:
         self.rank = rank
         self.size = simulator.n_ranks
         self.vtime = 0.0
-        self.timing = TimingRecord()
+        #: unified observability registry: phases + counters + events
+        self.obs = Instrumentation(
+            rank=rank,
+            clock=lambda: self.vtime,
+            trace=bool(getattr(simulator, "trace_enabled", False)),
+        )
+        #: legacy alias — the instrumentation implements the old
+        #: ``TimingRecord`` API (``add``/``total``/``mean``/``as_dict``)
+        self.timing = self.obs
         self.network: NetworkModel = simulator.network
-        #: virtual-time intervals (label, start, end) when tracing is on
-        self.trace: list[tuple[str, float, float]] = []
 
-    def _trace(self, label: str, t0: float, t1: float) -> None:
-        if getattr(self._sim, "trace_enabled", False) and t1 > t0:
-            self.trace.append((label, t0, t1))
+    @property
+    def trace(self) -> list[tuple[str, float, float]]:
+        """Traced ``(label, start, end)`` virtual-time intervals (legacy
+        view over ``obs.events``)."""
+        return [(e.label, e.t0, e.t1) for e in self.obs.events]
+
+    def _trace(
+        self, label: str, t0: float, t1: float, kind: str = "compute", **meta
+    ) -> None:
+        self.obs.event(label, t0, t1, kind=kind, **meta)
 
     # ------------------------------------------------------------------
     # point-to-point
@@ -121,10 +142,11 @@ class Communicator:
             raise ValueError(f"invalid destination rank {dest}")
         if isinstance(payload, np.ndarray):
             payload = payload.copy()
+        nbytes = _nbytes(payload)
+        self.obs.incr("comm.bytes_sent", nbytes)
+        self.obs.incr("comm.msgs_sent")
         self.vtime += self.network.send_overhead
-        arrival = self.vtime + self.network.msg_time(
-            self.rank, dest, _nbytes(payload)
-        )
+        arrival = self.vtime + self.network.msg_time(self.rank, dest, nbytes)
         self._sim.mailbox(dest).put(self.rank, tag, _Message(payload, arrival))
         return Request("send", dest, tag, complete_vtime=self.vtime, done=True)
 
@@ -144,7 +166,13 @@ class Communicator:
         req.complete_vtime = max(self.vtime, msg.arrival_vtime)
         req.done = True
         self.vtime = req.complete_vtime
-        self._trace(f"wait<-{req.peer}", t0, self.vtime)
+        nbytes = _nbytes(req.payload)
+        self.obs.incr("comm.bytes_recv", nbytes)
+        self.obs.incr("comm.msgs_recv")
+        self.obs.record("comm.wait", vtime=self.vtime - t0)
+        self._trace(
+            f"wait<-{req.peer}", t0, self.vtime, kind="wait", bytes=nbytes
+        )
         return req.payload
 
     def waitall(self, reqs: list[Request]) -> list[Any]:
@@ -218,13 +246,18 @@ class Communicator:
         the simulator's ``compute_scale`` before advancing virtual time.
         """
         t0 = time.thread_time()
+        w0 = time.perf_counter()
         v0 = self.vtime
         try:
             yield self
         finally:
             dt = (time.thread_time() - t0) * self._sim.compute_scale
             self.vtime += dt
-            self.timing.add(label, dt)
+            # the virtual-time delta includes nested modeled advances, so
+            # hierarchical phases stay meaningful under compute_scale=0
+            self.obs.record(
+                label, vtime=self.vtime - v0, wall=time.perf_counter() - w0
+            )
             self._trace(label, v0, self.vtime)
 
     def advance(self, seconds: float, label: str = "modeled") -> None:
@@ -233,8 +266,8 @@ class Communicator:
             raise ValueError("cannot advance time backwards")
         v0 = self.vtime
         self.vtime += seconds
-        self.timing.add(label, seconds)
-        self._trace(label, v0, self.vtime)
+        self.obs.record(label, vtime=seconds)
+        self._trace(label, v0, self.vtime, kind="modeled")
 
 
 def _reduce(vals: list[Any], op: str) -> Any:

@@ -7,9 +7,8 @@ machine of every experiment in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import math
+from dataclasses import dataclass
 
 __all__ = ["NetworkModel"]
 

@@ -13,19 +13,23 @@ from repro.simmpi.communicator import Communicator
 
 __all__ = ["render_gantt"]
 
-# label prefix -> glyph
+# label prefix -> glyph; matched longest-prefix-first so that a specific
+# entry (``spmv.emv``) is never shadowed by a generic one (``spmv``)
+# regardless of the table's textual order
 _GLYPHS = [
     ("spmv.emv", "E"),
+    ("spmv.scatter.wait", "w"),
     ("setup", "S"),
     ("wait", "w"),
     ("spmv", "c"),
     ("update", "U"),
     ("precond", "P"),
 ]
+_GLYPHS_BY_LENGTH = sorted(_GLYPHS, key=lambda e: len(e[0]), reverse=True)
 
 
 def _glyph(label: str) -> str:
-    for prefix, g in _GLYPHS:
+    for prefix, g in _GLYPHS_BY_LENGTH:
         if label.startswith(prefix):
             return g
     return "*"

@@ -8,12 +8,12 @@ block Jacobi (owned diagonal block factorized with SuperLU).
 """
 
 from repro.solvers.cg import CGResult, cg
+from repro.solvers.constrained import dirichlet_system
 from repro.solvers.preconditioners import (
     BlockJacobiPreconditioner,
     IdentityPreconditioner,
     JacobiPreconditioner,
 )
-from repro.solvers.constrained import dirichlet_system
 
 __all__ = [
     "cg",

@@ -63,12 +63,32 @@ def cg(
         ``1e-3``).
     """
 
-    def dot(u: np.ndarray, v: np.ndarray) -> float:
-        return float(comm.allreduce(float(u @ v)))
+    obs = comm.obs
 
+    def dot(u: np.ndarray, v: np.ndarray) -> float:
+        t = comm.vtime
+        s = float(comm.allreduce(float(u @ v)))
+        obs.record("solve.reduce", vtime=comm.vtime - t)
+        return s
+
+    def matvec(p: np.ndarray) -> np.ndarray:
+        t = comm.vtime
+        Ap = apply_A(p)
+        obs.record("solve.spmv", vtime=comm.vtime - t)
+        return Ap
+
+    def precond(r: np.ndarray) -> np.ndarray:
+        if apply_M is None:
+            return r
+        t = comm.vtime
+        z = apply_M(r)
+        obs.record("solve.precond", vtime=comm.vtime - t)
+        return z
+
+    t_solve = comm.vtime
     x = np.zeros_like(b) if x0 is None else x0.astype(np.float64).copy()
-    r = b - apply_A(x) if x0 is not None else b.copy()
-    z = apply_M(r) if apply_M is not None else r
+    r = b - matvec(x) if x0 is not None else b.copy()
+    z = precond(r)
     p = z.copy()
     rz = dot(r, z)
     r0 = np.sqrt(dot(r, r))
@@ -79,7 +99,7 @@ def cg(
     converged = False
     it = 0
     for it in range(1, maxiter + 1):
-        Ap = apply_A(p)
+        Ap = matvec(p)
         pAp = dot(p, Ap)
         if pAp <= 0.0:
             raise RuntimeError(
@@ -93,9 +113,11 @@ def cg(
         if rn <= max(rtol * r0, atol):
             converged = True
             break
-        z = apply_M(r) if apply_M is not None else r
+        z = precond(r)
         rz_new = dot(r, z)
         beta = rz_new / rz
         rz = rz_new
         p = z + beta * p
+    obs.incr("solve.iterations", it)
+    obs.record("solve.cg", vtime=comm.vtime - t_solve)
     return CGResult(x, it, converged, norms)

@@ -1,13 +1,13 @@
 """Shared utilities: timing, tables, array helpers, deterministic RNG."""
 
-from repro.util.timer import Timer, TimingRecord
-from repro.util.tables import ResultTable
 from repro.util.arrays import (
+    INDEX_DTYPE,
     as_f64,
     as_index,
     scatter_add,
-    INDEX_DTYPE,
 )
+from repro.util.tables import ResultTable
+from repro.util.timer import Timer, TimingRecord
 
 __all__ = [
     "Timer",

@@ -7,7 +7,7 @@ import pytest
 
 from repro.core import HymvOperator
 from repro.fem import PoissonOperator
-from repro.mesh import ElementType, box_tet_mesh
+from repro.mesh import box_tet_mesh
 from repro.mesh.adapt import refine_local
 from repro.mesh.element import TET_FACES
 from repro.partition import build_partition

@@ -4,9 +4,7 @@ updating a few element matrices without any global reassembly."""
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
-from repro.baselines.serial import SerialReference, assemble_global_csr
 from repro.core import HymvOperator
 from repro.fem import ElasticityOperator, PoissonOperator
 from repro.mesh import ElementType, box_hex_mesh

@@ -1,0 +1,133 @@
+"""Bench-document schema and the perf-gate compare tool."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.obs import BENCH_SCHEMA, SchemaError, validate_bench_doc
+from repro.obs.bench import SmokeCase, run_smoke_suite
+from repro.obs.compare import compare_docs, main as compare_main
+from repro.obs.schema import new_bench_doc, result_key
+
+
+def _tiny_case():
+    from repro.problems import poisson_problem
+
+    return SmokeCase(
+        name="poisson-tiny",
+        make_spec=lambda: poisson_problem(4, n_parts=2),
+        methods=("hymv",),
+        n_spmv=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_doc():
+    return run_smoke_suite(
+        repeats=2, modeled=True, cases=(_tiny_case(),), verbose=False
+    )
+
+
+# ----------------------------------------------------------------------------
+# schema
+# ----------------------------------------------------------------------------
+
+def test_new_doc_validates_and_round_trips():
+    doc = new_bench_doc(suite="smoke", repeats=3, config={"modeled": True})
+    assert doc["schema"] == BENCH_SCHEMA
+    round_tripped = json.loads(json.dumps(doc))
+    assert validate_bench_doc(round_tripped) == round_tripped
+
+
+def test_validate_rejects_malformed_docs():
+    with pytest.raises(SchemaError):
+        validate_bench_doc([])
+    with pytest.raises(SchemaError):
+        validate_bench_doc({"schema": "repro.bench/999"})
+    doc = new_bench_doc(suite="smoke", repeats=1)
+    doc["results"].append({"case": "x"})  # missing required result keys
+    with pytest.raises(SchemaError, match="missing key"):
+        validate_bench_doc(doc)
+    doc["results"][0] = {
+        "case": "x", "method": "hymv", "n_parts": 2, "n_dofs": 100,
+        "phases": {"spmv.total": {"median": 1.0}},  # missing min/max/repeats
+        "counters": {},
+    }
+    with pytest.raises(SchemaError, match="spmv.total"):
+        validate_bench_doc(doc)
+
+
+def test_smoke_suite_produces_valid_deterministic_doc(tiny_doc):
+    assert validate_bench_doc(tiny_doc) is tiny_doc
+    (res,) = tiny_doc["results"]
+    assert result_key(res) == "poisson-tiny/hymv"
+    # modeled mode: every repeat produces identical virtual times
+    for stats in res["phases"].values():
+        assert stats["min"] == stats["max"] == stats["median"]
+        assert stats["repeats"] == 2
+    assert res["phases"]["spmv.total"]["median"] > 0
+    assert res["counters"]["spmv.elements"] > 0
+    # the whole document survives a JSON round trip
+    assert validate_bench_doc(json.loads(json.dumps(tiny_doc)))
+
+
+# ----------------------------------------------------------------------------
+# compare
+# ----------------------------------------------------------------------------
+
+def test_compare_doc_with_itself_passes(tiny_doc):
+    ok, findings = compare_docs(tiny_doc, tiny_doc)
+    assert ok
+    assert not findings
+
+
+def test_compare_flags_synthetic_regression(tiny_doc):
+    worse = copy.deepcopy(tiny_doc)
+    worse["results"][0]["phases"]["spmv.total"]["median"] *= 2.0
+    ok, findings = compare_docs(tiny_doc, worse, budget=0.25)
+    assert not ok
+    fails = [f for f in findings if f.severity == "fail"]
+    assert any("spmv.total" in f.where for f in fails)
+    # the same diff inside a generous budget passes
+    ok, _ = compare_docs(tiny_doc, worse, budget=1.5)
+    assert ok
+
+
+def test_compare_flags_counter_increase(tiny_doc):
+    worse = copy.deepcopy(tiny_doc)
+    worse["results"][0]["counters"]["spmv.elements"] *= 1.10
+    ok, findings = compare_docs(tiny_doc, worse, counter_budget=0.05)
+    assert not ok
+    assert any(
+        f.severity == "fail" and "spmv.elements" in f.where for f in findings
+    )
+
+
+def test_compare_flags_missing_result(tiny_doc):
+    empty = copy.deepcopy(tiny_doc)
+    empty["results"] = []
+    ok, findings = compare_docs(tiny_doc, empty)
+    assert not ok
+    assert findings[0].severity == "fail"
+    # extra candidate results are fine; missing baseline rows are not checked
+    ok, _ = compare_docs(empty, tiny_doc)
+    assert ok
+
+
+def test_compare_cli_exit_codes(tiny_doc, tmp_path):
+    base = tmp_path / "base.json"
+    base.write_text(json.dumps(tiny_doc))
+    worse_doc = copy.deepcopy(tiny_doc)
+    worse_doc["results"][0]["phases"]["spmv.total"]["median"] *= 3.0
+    worse = tmp_path / "worse.json"
+    worse.write_text(json.dumps(worse_doc))
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+
+    assert compare_main([str(base), str(base)]) == 0
+    assert compare_main([str(base), str(worse)]) == 1
+    assert compare_main([str(base), str(bad)]) == 2
+    assert compare_main([str(base), str(tmp_path / "absent.json")]) == 2

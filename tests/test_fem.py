@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-import scipy.sparse.linalg as spla
 
 from repro.baselines.serial import SerialReference, assemble_global_csr
 from repro.fem import (

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.gpu import HymvGpuOperator, StreamScheduler
+from repro.gpu import StreamScheduler
 from repro.harness import run_solve
 from repro.mesh import ElementType
 from repro.perfmodel.machine import GpuModel

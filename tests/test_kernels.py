@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -61,7 +60,6 @@ def test_as_scipy_operator_interop():
 
     from repro.core import HymvOperator
     from repro.core.hymv import as_scipy_operator
-    from repro.fem import PoissonOperator
     from repro.problems import poisson_problem
     from repro.simmpi import run_spmd
 

@@ -12,7 +12,6 @@ import pytest
 from repro.fem.operators import ElasticityOperator, PoissonOperator
 from repro.mesh import ElementType
 from repro.perfmodel import (
-    FRONTERA,
     CaseGeometry,
     method_setup_time,
     method_spmv_time,

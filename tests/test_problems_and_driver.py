@@ -9,10 +9,10 @@ from repro.core.da import DistributedArray
 from repro.core.maps import build_node_maps
 from repro.core.rhs import assemble_rhs, local_node_coords
 from repro.core.scatter import build_comm_maps
+from repro.fem.operators import ElasticityOperator, PoissonOperator
 from repro.harness import run_bench, run_solve
 from repro.harness.meshes import box_dims_for_dofs
 from repro.harness.registry import EXPERIMENTS, run_experiment
-from repro.fem.operators import ElasticityOperator, PoissonOperator
 from repro.mesh import ElementType
 from repro.problems import elastic_bar_problem, poisson_problem
 from repro.simmpi import run_spmd

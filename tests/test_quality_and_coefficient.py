@@ -107,7 +107,6 @@ def test_interface_problem_flux_continuity():
     """1-D-like interface sanity: with kappa = (1 | 5) split at x = 0.5
     and u fixed to 0/1 on the x faces, the discrete solution is piecewise
     linear with the analytic interface value."""
-    import scipy.sparse.linalg as spla
 
     mesh = box_hex_mesh(8, 2, 2)
     op = PoissonOperator(coefficient=_kappa)

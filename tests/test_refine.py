@@ -72,7 +72,6 @@ def test_refine_levels():
 def test_refine_reduces_fem_error():
     """End-to-end: refining an unstructured tet mesh reduces the Poisson
     error at the expected rate."""
-    import scipy.sparse.linalg as spla
 
     from repro.baselines.serial import SerialReference
     from repro.fem import PoissonOperator

@@ -141,7 +141,7 @@ def test_trace_and_gantt():
     from repro.simmpi.trace import render_gantt
 
     def prog(comm):
-        comm.advance(0.5, "spmv.emv_independent")
+        comm.advance(0.5, "spmv.emv.independent")
         if comm.rank == 0:
             comm.isend(np.zeros(10), 1)
         else:

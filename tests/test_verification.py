@@ -4,7 +4,6 @@ vs analytic solution)."""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.harness import run_solve
