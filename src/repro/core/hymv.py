@@ -97,6 +97,9 @@ class EbeOperatorBase:
         self._sl_all = slice(None)
         self.n_dofs_owned = self.maps.n_owned * self.ndpn
         self.spmv_count = 0
+        # under fault injection, sanity-check received ghost values so
+        # corruption surfaces as a counter the resilient solver can act on
+        self._check_ghosts = bool(getattr(comm, "faults_active", False))
 
     # -- construction helpers -------------------------------------------
 
@@ -138,6 +141,17 @@ class EbeOperatorBase:
                 flops / (self.modeled_rate_gflops * 1e9), "spmv.emv.modeled"
             )
 
+    def _verify_ghosts(self, u: DistributedArray) -> None:
+        """Flag non-finite received ghost values (fault-injection runs
+        only): raises the ``spmv.ghost_nonfinite`` counter that the
+        resilient CG treats as a local corruption signal."""
+        bad = 0
+        for slots in self.cmaps.recv_slots:
+            vals = u.data[slots]
+            bad += int(vals.size - np.count_nonzero(np.isfinite(vals)))
+        if bad:
+            self.comm.obs.incr("spmv.ghost_nonfinite", bad)
+
     # -- Algorithm 2 ------------------------------------------------------
 
     def spmv(
@@ -163,12 +177,16 @@ class EbeOperatorBase:
             tw = comm.vtime
             scatter_end(comm, u.data, self.cmaps, reqs)
             comm.timing.add("spmv.scatter.wait", comm.vtime - tw)
+            if self._check_ghosts:
+                self._verify_ghosts(u)
             with comm.compute("spmv.emv.dependent"):
                 self._emv_sweep(u, v, self._sl_dep)
         else:
             tw = comm.vtime
             scatter(comm, u.data, self.cmaps)
             comm.timing.add("spmv.scatter.wait", comm.vtime - tw)
+            if self._check_ghosts:
+                self._verify_ghosts(u)
             with comm.compute("spmv.emv.all"):
                 self._emv_sweep(u, v, self._sl_all)
         tg = comm.vtime

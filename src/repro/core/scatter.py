@@ -26,6 +26,8 @@ from repro.simmpi.communicator import Communicator, Request
 from repro.util.arrays import INDEX_DTYPE, as_index
 
 __all__ = [
+    "SCATTER_TAG",
+    "GATHER_TAG",
     "CommMaps",
     "build_comm_maps",
     "scatter_begin",
@@ -36,8 +38,12 @@ __all__ = [
     "gather",
 ]
 
-_SCATTER_TAG = 101
-_GATHER_TAG = 102
+#: message tags of the two halo-exchange directions (public so fault
+#: plans can target the ghost scatter / gather selectively)
+SCATTER_TAG = 101
+GATHER_TAG = 102
+_SCATTER_TAG = SCATTER_TAG
+_GATHER_TAG = GATHER_TAG
 
 
 @dataclass

@@ -1,0 +1,49 @@
+"""Fault injection & chaos testing for the simulated-MPI SPMV stack.
+
+* :mod:`repro.faults.plan` — composable, seeded :class:`FaultPlan` rules
+  (delay, reorder, drop+retry, straggler, corruption) bound into a
+  :class:`FaultInjector` by the simulator.
+* :mod:`repro.faults.chaos` — the chaos harness
+  (``python -m repro.harness chaos``): runs a fault matrix against a
+  fault-free reference solve and writes a schema-versioned
+  ``CHAOS_report.json``.
+
+The injection points live in :mod:`repro.simmpi` (message faults, compute
+stragglers, ghost checksums) and :mod:`repro.solvers.cg` (breakdown
+detection + restart-from-last-good-iterate); everything is surfaced as
+``faults.*`` / ``solve.*`` observability counters and trace events.
+"""
+
+from repro.faults.plan import (
+    CORRUPT_MODES,
+    Corrupt,
+    Delay,
+    Drop,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    MessageLostError,
+    Reorder,
+    SendEffects,
+    Straggler,
+    corrupt_array,
+    payload_checksum,
+)
+
+__all__ = [
+    "CORRUPT_MODES",
+    "Corrupt",
+    "Delay",
+    "Drop",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "MessageLostError",
+    "Reorder",
+    "SendEffects",
+    "Straggler",
+    "corrupt_array",
+    "payload_checksum",
+]

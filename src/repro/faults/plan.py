@@ -1,0 +1,372 @@
+"""Deterministic, seedable fault injection for the simulated-MPI stack.
+
+At the scale the paper targets, the interesting failures are not crashes
+but *degradations*: stragglers, delayed or reordered messages, a lost
+ghost exchange, silently corrupted halo data.  A :class:`FaultPlan` is a
+composable, immutable description of such a regime, built from rules:
+
+* :class:`Delay` — extra latency on matching point-to-point messages;
+* :class:`Reorder` — matching messages jump the mailbox queue (physical
+  delivery order is permuted; sequence-numbered matching in the
+  communicator keeps payload order, so this is a pure timing fault);
+* :class:`Drop` — the first matching message per edge is lost ``times``
+  times; the receiver recovers through a modeled timeout + bounded
+  retransmit (raising :class:`MessageLostError` past ``max_retries``);
+* :class:`Straggler` — one rank's compute (measured and modeled) runs
+  slower by a factor;
+* :class:`Corrupt` — matching payloads are corrupted in flight (NaN
+  injection or a single bit flip), detectable by the plan's optional
+  lightweight ghost checksums.
+
+A plan is bound to a simulator run with :meth:`FaultPlan.bind`, which
+returns a :class:`FaultInjector` holding the mutable per-edge state.  All
+decisions key off per-``(rule, src, dst, tag)`` message counters and a
+seeded hash, never off wall-clock or thread interleaving, so a fixed plan
+fires identically on every run — the property the chaos suite asserts.
+
+Determinism note: rule budgets (``skip``/``times``/``count``) are
+accounted **per edge**, i.e. per ``(src, dst, tag)`` triple.  A wildcard
+rule therefore fires on *every* matching edge independently, which keeps
+firing deterministic even when rank threads interleave arbitrarily.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from dataclasses import dataclass, field
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "CORRUPT_MODES",
+    "Corrupt",
+    "Delay",
+    "Drop",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "MessageLostError",
+    "Reorder",
+    "SendEffects",
+    "Straggler",
+    "corrupt_array",
+    "payload_checksum",
+]
+
+CORRUPT_MODES = ("nan", "bitflip")
+
+
+class FaultError(RuntimeError):
+    """Base class of unrecoverable injected-fault outcomes."""
+
+
+class MessageLostError(FaultError):
+    """A dropped message exhausted the bounded-retry recovery."""
+
+
+# ----------------------------------------------------------------------------
+# rules
+# ----------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Delay:
+    """Add ``seconds`` (+ seeded uniform ``jitter``) of latency to matching
+    messages.  ``count`` bounds firings per edge; ``None`` is unlimited."""
+
+    seconds: float
+    src: int | None = None
+    dst: int | None = None
+    tag: int | None = None
+    jitter: float = 0.0
+    count: int | None = None
+    skip: int = 0
+
+    def _validate(self) -> None:
+        if self.seconds < 0 or self.jitter < 0:
+            raise ValueError("Delay: seconds and jitter must be >= 0")
+
+
+@dataclass(frozen=True)
+class Reorder:
+    """Every ``period``-th matching message per edge is enqueued at the
+    *front* of the receiver's mailbox queue (it overtakes in-flight
+    siblings).  Sequence-numbered matching preserves payload order, so
+    only delivery timing is perturbed."""
+
+    period: int = 2
+    src: int | None = None
+    dst: int | None = None
+    tag: int | None = None
+    count: int | None = None
+    skip: int = 0
+
+    def _validate(self) -> None:
+        if self.period < 1:
+            raise ValueError("Reorder: period must be >= 1")
+
+
+@dataclass(frozen=True)
+class Drop:
+    """Drop the first matching message per edge ``times`` times.  The
+    receiver recovers each drop with a modeled timeout + retransmission;
+    ``times >= max_retries`` makes the message unrecoverable
+    (:class:`MessageLostError`)."""
+
+    src: int | None = None
+    dst: int | None = None
+    tag: int | None = None
+    times: int = 1
+    skip: int = 0
+
+    def _validate(self) -> None:
+        if self.times < 1:
+            raise ValueError("Drop: times must be >= 1")
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """Multiply one rank's compute durations (measured ``compute``
+    sections and modeled ``advance`` calls) by ``factor >= 1``."""
+
+    rank: int
+    factor: float
+
+    def _validate(self) -> None:
+        if self.factor < 1.0:
+            raise ValueError("Straggler: factor must be >= 1 (a slowdown)")
+
+
+@dataclass(frozen=True)
+class Corrupt:
+    """Corrupt the first ``times`` matching ndarray payloads per edge,
+    after ``skip`` unharmed ones.  ``mode``: ``"nan"`` poisons one entry
+    with NaN; ``"bitflip"`` flips one seeded bit of one float64 word."""
+
+    mode: str = "nan"
+    src: int | None = None
+    dst: int | None = None
+    tag: int | None = None
+    times: int = 1
+    skip: int = 0
+
+    def _validate(self) -> None:
+        if self.mode not in CORRUPT_MODES:
+            raise ValueError(
+                f"Corrupt: unknown mode {self.mode!r} (known: {CORRUPT_MODES})"
+            )
+        if self.times < 1:
+            raise ValueError("Corrupt: times must be >= 1")
+
+
+FaultRule = Union[Delay, Reorder, Drop, Straggler, Corrupt]
+
+_P2P_RULES = (Delay, Reorder, Drop, Corrupt)
+
+
+def _matches(rule, src: int, dst: int, tag: int) -> bool:
+    return (
+        (rule.src is None or rule.src == src)
+        and (rule.dst is None or rule.dst == dst)
+        and (rule.tag is None or rule.tag == tag)
+    )
+
+
+# ----------------------------------------------------------------------------
+# payload helpers
+# ----------------------------------------------------------------------------
+
+def payload_checksum(arr: np.ndarray) -> int:
+    """Lightweight content checksum of an ndarray payload (CRC-32)."""
+    return zlib.crc32(np.ascontiguousarray(arr).tobytes())
+
+
+def corrupt_array(arr: np.ndarray, mode: str, seed: int) -> bool:
+    """Corrupt one seeded entry of ``arr`` in place; returns whether the
+    payload was actually mutated (non-float payloads are left alone)."""
+    flat = arr.reshape(-1)
+    if flat.size == 0:
+        return False
+    rng = np.random.default_rng(seed)
+    i = int(rng.integers(flat.size))
+    if mode == "nan":
+        if flat.dtype.kind != "f":
+            return False
+        flat[i] = np.nan
+        return True
+    if mode == "bitflip":
+        if flat.dtype != np.float64:
+            return False
+        view = flat.view(np.uint64)
+        view[i] ^= np.uint64(1) << np.uint64(int(rng.integers(64)))
+        return True
+    raise ValueError(f"unknown corruption mode {mode!r}")
+
+
+def _mix_seed(*parts: int) -> int:
+    """Stable non-negative seed from integer parts (order-sensitive)."""
+    h = 0x9E3779B97F4A7C15
+    for p in parts:
+        h = (h ^ (int(p) & 0xFFFFFFFFFFFFFFFF)) * 0x100000001B3 % (1 << 64)
+    return h
+
+
+# ----------------------------------------------------------------------------
+# the plan and its bound injector
+# ----------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Immutable, reusable description of a fault regime.
+
+    Parameters
+    ----------
+    rules:
+        The composable fault rules (any mix of the five rule types).
+    seed:
+        Seeds every stochastic decision (jitter, corruption target), so a
+        plan is a pure function of ``(rules, seed)``.
+    checksums:
+        Attach a CRC-32 to every ndarray point-to-point payload at send
+        time (before in-flight corruption) and verify it on receive;
+        mismatches raise the ``faults.checksum_fail`` counter and land on
+        the trace — the lightweight ghost-exchange integrity check.
+    retry_timeout:
+        Modeled seconds a receiver waits before declaring a loss and
+        requesting retransmission.
+    max_retries:
+        Bounded-retry budget; a message dropped ``max_retries`` times is
+        unrecoverable and raises :class:`MessageLostError`.
+    """
+
+    rules: tuple[FaultRule, ...] = field(default_factory=tuple)
+    seed: int = 0
+    checksums: bool = False
+    retry_timeout: float = 1e-4
+    max_retries: int = 3
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+        for rule in self.rules:
+            if not isinstance(rule, (*_P2P_RULES, Straggler)):
+                raise TypeError(f"not a fault rule: {rule!r}")
+            if getattr(rule, "skip", 0) < 0:
+                raise ValueError(f"{type(rule).__name__}: skip must be >= 0")
+            rule._validate()
+        if self.retry_timeout <= 0:
+            raise ValueError("retry_timeout must be > 0")
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+
+    def bind(self, n_ranks: int) -> "FaultInjector":
+        """Fresh mutable injector for one simulator run."""
+        return FaultInjector(self, n_ranks)
+
+    def describe(self) -> dict:
+        """JSON-able summary (used by the chaos report)."""
+        return {
+            "seed": self.seed,
+            "checksums": self.checksums,
+            "retry_timeout": self.retry_timeout,
+            "max_retries": self.max_retries,
+            "rules": [
+                {"rule": type(r).__name__, **r.__dict__} for r in self.rules
+            ],
+        }
+
+
+@dataclass
+class SendEffects:
+    """Faults the injector applies to one outgoing message."""
+
+    delay: float = 0.0
+    drops: int = 0
+    corrupt_mode: str | None = None
+    corrupt_seed: int = 0
+    reorder: bool = False
+
+    @property
+    def any(self) -> bool:
+        return bool(
+            self.delay or self.drops or self.corrupt_mode or self.reorder
+        )
+
+
+class FaultInjector:
+    """Per-run mutable state of a :class:`FaultPlan`.
+
+    One injector is owned by one :class:`repro.simmpi.engine.Simulator`;
+    its per-edge counters are touched only by the sending rank's thread
+    (each edge has a unique sender), so decisions are interleaving-proof.
+    """
+
+    def __init__(self, plan: FaultPlan, n_ranks: int):
+        self.plan = plan
+        self.n_ranks = n_ranks
+        self.checksums = plan.checksums
+        self.retry_timeout = plan.retry_timeout
+        self.max_retries = plan.max_retries
+        self._lock = threading.Lock()
+        self._counts: dict[tuple[int, int, int, int], int] = {}
+        self._factors = [1.0] * n_ranks
+        for rule in plan.rules:
+            if isinstance(rule, Straggler):
+                if not (0 <= rule.rank < n_ranks):
+                    raise ValueError(
+                        f"Straggler rank {rule.rank} out of range "
+                        f"[0, {n_ranks})"
+                    )
+                self._factors[rule.rank] *= rule.factor
+            else:
+                for end in (rule.src, rule.dst):
+                    if end is not None and not (0 <= end < n_ranks):
+                        raise ValueError(
+                            f"{type(rule).__name__} rank {end} out of range "
+                            f"[0, {n_ranks})"
+                        )
+
+    def compute_factor(self, rank: int) -> float:
+        """Compute-slowdown factor of ``rank`` (1.0 = nominal)."""
+        return self._factors[rank]
+
+    def on_send(self, src: int, dst: int, tag: int) -> SendEffects:
+        """Decide the faults affecting one outgoing message (sender-side,
+        called exactly once per ``isend``)."""
+        eff = SendEffects()
+        for i, rule in enumerate(self.plan.rules):
+            if isinstance(rule, Straggler) or not _matches(rule, src, dst, tag):
+                continue
+            key = (i, src, dst, tag)
+            with self._lock:
+                k = self._counts.get(key, 0)
+                self._counts[key] = k + 1
+            k -= rule.skip
+            if k < 0:
+                continue
+            if isinstance(rule, Delay):
+                if rule.count is None or k < rule.count:
+                    extra = rule.seconds
+                    if rule.jitter:
+                        rng = np.random.default_rng(
+                            _mix_seed(self.plan.seed, i, src, dst, tag, k)
+                        )
+                        extra += rule.jitter * float(rng.random())
+                    eff.delay += extra
+            elif isinstance(rule, Drop):
+                if k == 0:
+                    eff.drops += rule.times
+            elif isinstance(rule, Reorder):
+                fired = (k + 1) // rule.period
+                if (k + 1) % rule.period == 0 and (
+                    rule.count is None or fired <= rule.count
+                ):
+                    eff.reorder = True
+            elif isinstance(rule, Corrupt):
+                if k < rule.times:
+                    eff.corrupt_mode = rule.mode
+                    eff.corrupt_seed = _mix_seed(
+                        self.plan.seed, i, src, dst, tag, k
+                    )
+        return eff

@@ -129,6 +129,8 @@ class HymvGpuOperator(HymvOperator):
             scheme = "gpu_gpu_overlap" if overlap else scheme
         if scheme == "gpu":
             scatter(comm, u.data, self.cmaps)
+            if self._check_ghosts:
+                self._verify_ghosts(u)
             comm.advance(self._device_sweep(u, v, self._sl_all), "spmv.gpu")
         elif scheme == "gpu_gpu_overlap":
             reqs = scatter_begin(comm, u.data, self.cmaps)
@@ -136,6 +138,8 @@ class HymvGpuOperator(HymvOperator):
                 self._device_sweep(u, v, self._sl_indep), "spmv.gpu.independent"
             )
             scatter_end(comm, u.data, self.cmaps, reqs)
+            if self._check_ghosts:
+                self._verify_ghosts(u)
             comm.advance(
                 self._device_sweep(u, v, self._sl_dep), "spmv.gpu.dependent"
             )
@@ -145,6 +149,8 @@ class HymvGpuOperator(HymvOperator):
                 self._device_sweep(u, v, self._sl_indep), "spmv.gpu.independent"
             )
             scatter_end(comm, u.data, self.cmaps, reqs)
+            if self._check_ghosts:
+                self._verify_ghosts(u)
             t_cpu = self._cpu_sweep(u, v, self._sl_dep)
             comm.advance(t_cpu, "spmv.cpu.dependent")
         greqs = gather_begin(comm, v.data, self.cmaps)

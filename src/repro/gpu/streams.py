@@ -12,6 +12,7 @@ profiles with eight streams.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.perfmodel.machine import GPU_NODE, GpuModel
 
@@ -70,12 +71,29 @@ class StreamScheduler:
         kernel_bytes: float,
         d2h_bytes: float,
         n_chunks: int | None = None,
+        kernel_scale: Sequence[float] | None = None,
     ) -> float:
         """Schedule a full batched EMV: the arrays are split into chunks
-        (default: one per stream) and pipelined.  Returns the makespan."""
+        (default: one per stream) and pipelined.  Returns the makespan.
+
+        ``kernel_scale`` optionally multiplies the kernel duration of each
+        chunk individually (length ``n_chunks``, factors >= 1) — a
+        straggler-chunk model for fault-injection studies.
+        """
         g = self.gpu
         if n_chunks is None:
             n_chunks = self.n_streams
+        if n_chunks < 1:
+            raise ValueError("n_chunks must be >= 1")
+        if kernel_scale is not None:
+            kernel_scale = list(kernel_scale)
+            if len(kernel_scale) != n_chunks:
+                raise ValueError(
+                    f"kernel_scale has {len(kernel_scale)} entries "
+                    f"for {n_chunks} chunks"
+                )
+            if any(f < 1.0 for f in kernel_scale):
+                raise ValueError("kernel_scale factors must be >= 1")
         for c in range(n_chunks):
             s = c % self.n_streams
             self._issue(s, "h2d", c, h2d_bytes / n_chunks / (g.pcie_gbps * 1e9))
@@ -83,6 +101,8 @@ class StreamScheduler:
                 kernel_bytes / n_chunks / (g.mem_gbps * 1e9),
                 kernel_flops / n_chunks / (g.fp64_gflops * 1e9),
             ) + g.kernel_launch_s
+            if kernel_scale is not None:
+                t_k *= kernel_scale[c]
             self._issue(s, "kernel", c, t_k)
             self._issue(s, "d2h", c, d2h_bytes / n_chunks / (g.pcie_gbps * 1e9))
         return self.makespan

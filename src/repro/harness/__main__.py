@@ -8,6 +8,8 @@ Usage::
     python -m repro.harness --out results/  # also write one .txt per exp
     python -m repro.harness bench           # smoke bench -> BENCH_smoke.json
     python -m repro.harness bench --repeats 3 --out BENCH_smoke.json
+    python -m repro.harness chaos           # fault matrix -> CHAOS_report.json
+    python -m repro.harness chaos --smoke   # CI-sized chaos run
 """
 
 from __future__ import annotations
@@ -27,6 +29,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        from repro.faults.chaos import main as chaos_main
+
+        return chaos_main(argv[1:])
     ap = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Reproduce the paper's tables and figures",

@@ -28,11 +28,12 @@ from repro.core.hymv import HymvOperator
 from repro.core.maps import build_node_maps
 from repro.core.rhs import assemble_rhs, local_node_coords
 from repro.core.scatter import build_comm_maps
+from repro.faults.plan import FaultPlan
 from repro.obs.instrumentation import merge_snapshots
 from repro.problems import ProblemSpec
 from repro.simmpi.engine import run_spmd
 from repro.simmpi.network import NetworkModel
-from repro.solvers.cg import cg
+from repro.solvers.cg import ResilienceConfig, cg
 from repro.solvers.constrained import dirichlet_system
 from repro.solvers.preconditioners import (
     BlockJacobiPreconditioner,
@@ -156,6 +157,7 @@ def run_bench(
     network: NetworkModel | None = None,
     compute_scale: float = 1.0,
     seed: int = 1234,
+    faults: FaultPlan | None = None,
     **options,
 ) -> BenchResult:
     """Run the setup + ``n_spmv`` protocol for one method on ``spec``."""
@@ -171,6 +173,7 @@ def run_bench(
         rank_args=rank_args,
         network=network,
         compute_scale=compute_scale,
+        faults=faults,
     )
     breakdown: dict[str, float] = {}
     for res in results:
@@ -204,6 +207,7 @@ class SolveOutcome:
     n_dofs: int
     iterations: int
     converged: bool
+    restarts: int
     setup_time: float
     solve_time: float
     total_time: float
@@ -224,7 +228,9 @@ def _constrain_block(B: sp.csr_matrix, mask: np.ndarray) -> sp.csr_matrix:
     return (free @ B @ free + fixed).tocsr()
 
 
-def _solve_program(comm, lmesh, tractions, kind, precond, rtol, maxiter, options):
+def _solve_program(
+    comm, lmesh, tractions, kind, precond, rtol, maxiter, resilience, options
+):
     spec: ProblemSpec = OPTIONS_SPEC[0]
     operator = spec.operator
     ndpn = operator.ndpn
@@ -273,7 +279,10 @@ def _solve_program(comm, lmesh, tractions, kind, precond, rtol, maxiter, options
         raise ValueError(f"unknown preconditioner {precond!r}")
 
     t1 = comm.vtime
-    res = cg(comm, apply_hat, b_hat, apply_M=M, rtol=rtol, maxiter=maxiter)
+    res = cg(
+        comm, apply_hat, b_hat, apply_M=M, rtol=rtol, maxiter=maxiter,
+        resilience=resilience,
+    )
     solve_time = comm.vtime - t1
 
     exact = spec.analytic_owned(comm.rank)
@@ -288,6 +297,7 @@ def _solve_program(comm, lmesh, tractions, kind, precond, rtol, maxiter, options
         "x": res.x,
         "iterations": res.iterations,
         "converged": res.converged,
+        "restarts": res.restarts,
         "setup": setup_time,
         "solve": solve_time,
         "total": comm.vtime,
@@ -309,9 +319,16 @@ def run_solve(
     network: NetworkModel | None = None,
     compute_scale: float = 1.0,
     return_solution: bool = False,
+    faults: FaultPlan | None = None,
+    resilience: ResilienceConfig | None = None,
     **options,
 ) -> SolveOutcome:
-    """Distributed CG solve of ``spec`` with one SPMV method."""
+    """Distributed CG solve of ``spec`` with one SPMV method.
+
+    ``faults`` injects a :class:`repro.faults.plan.FaultPlan` into the
+    simulated network/compute; ``resilience`` enables the CG
+    breakdown-detection + restart policy (chaos testing).
+    """
     p = spec.n_parts
     OPTIONS_SPEC[0] = spec
     rank_args = [
@@ -322,6 +339,7 @@ def run_solve(
             precond,
             rtol,
             maxiter,
+            resilience,
             options,
         )
         for r in range(p)
@@ -332,6 +350,7 @@ def run_solve(
         rank_args=rank_args,
         network=network,
         compute_scale=compute_scale,
+        faults=faults,
     )
     breakdown: dict[str, float] = {}
     for res in results:
@@ -348,6 +367,7 @@ def run_solve(
         n_dofs=spec.n_dofs,
         iterations=r0["iterations"],
         converged=bool(r0["converged"]),
+        restarts=int(r0["restarts"]),
         setup_time=max(r["setup"] for r in results),
         solve_time=max(r["solve"] for r in results),
         total_time=max(r["total"] for r in results),

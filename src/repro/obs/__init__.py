@@ -18,9 +18,11 @@ from repro.obs.instrumentation import (
 )
 from repro.obs.schema import (
     BENCH_SCHEMA,
+    CHAOS_SCHEMA,
     SchemaError,
     machine_fingerprint,
     validate_bench_doc,
+    validate_chaos_doc,
 )
 
 __all__ = [
@@ -31,7 +33,9 @@ __all__ = [
     "merge_snapshots",
     "reset_instrumentation",
     "BENCH_SCHEMA",
+    "CHAOS_SCHEMA",
     "SchemaError",
     "machine_fingerprint",
     "validate_bench_doc",
+    "validate_chaos_doc",
 ]

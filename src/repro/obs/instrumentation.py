@@ -61,7 +61,7 @@ class TraceEvent:
     label: str
     t0: float
     t1: float
-    kind: str = "compute"  # "compute" | "wait" | "modeled" | "gpu"
+    kind: str = "compute"  # "compute" | "wait" | "modeled" | "gpu" | "fault"
     meta: dict[str, Any] = field(default_factory=dict)
 
     @property

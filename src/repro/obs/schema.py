@@ -18,14 +18,21 @@ from typing import Any
 
 __all__ = [
     "BENCH_SCHEMA",
+    "CHAOS_SCHEMA",
     "SchemaError",
     "machine_fingerprint",
     "new_bench_doc",
+    "new_chaos_doc",
     "validate_bench_doc",
+    "validate_chaos_doc",
 ]
 
 #: Schema identifier; bump the trailing integer on breaking changes.
 BENCH_SCHEMA = "repro.bench/1"
+
+#: Chaos-report schema (``CHAOS_report.json`` written by
+#: ``python -m repro.harness chaos``).
+CHAOS_SCHEMA = "repro.chaos/1"
 
 _PHASE_STAT_KEYS = ("median", "min", "max", "repeats")
 _RESULT_REQUIRED = ("case", "method", "n_parts", "n_dofs", "phases", "counters")
@@ -109,3 +116,52 @@ def validate_bench_doc(doc: Any) -> dict[str, Any]:
 def result_key(res: dict[str, Any]) -> str:
     """Stable identity of one result row: ``case/method``."""
     return f"{res['case']}/{res['method']}"
+
+
+# ----------------------------------------------------------------------------
+# chaos report
+# ----------------------------------------------------------------------------
+
+_SCENARIO_REQUIRED = (
+    "scenario", "ok", "failures", "plan", "counters", "iterations",
+    "restarts", "rel_err",
+)
+
+
+def new_chaos_doc(config: dict[str, Any] | None = None) -> dict[str, Any]:
+    """An empty, schema-conforming chaos report."""
+    return {
+        "schema": CHAOS_SCHEMA,
+        "created_unix": time.time(),
+        "machine": machine_fingerprint(),
+        "config": dict(config or {}),
+        "scenarios": [],
+    }
+
+
+def validate_chaos_doc(doc: Any) -> dict[str, Any]:
+    """Validate a parsed chaos report; returns it on success."""
+    if not isinstance(doc, dict):
+        raise SchemaError(f"chaos doc must be an object, got {type(doc).__name__}")
+    schema = doc.get("schema")
+    if schema != CHAOS_SCHEMA:
+        raise SchemaError(
+            f"unsupported schema {schema!r} (expected {CHAOS_SCHEMA!r})"
+        )
+    for key in ("machine", "config", "scenarios"):
+        if key not in doc:
+            raise SchemaError(f"chaos doc missing key {key!r}")
+    if not isinstance(doc["scenarios"], list):
+        raise SchemaError("'scenarios' must be a list")
+    for i, sc in enumerate(doc["scenarios"]):
+        where = f"scenarios[{i}]"
+        if not isinstance(sc, dict):
+            raise SchemaError(f"{where} must be an object")
+        for key in _SCENARIO_REQUIRED:
+            if key not in sc:
+                raise SchemaError(f"{where} missing key {key!r}")
+        if not isinstance(sc["counters"], dict):
+            raise SchemaError(f"{where}.counters must be an object")
+        if not isinstance(sc["failures"], list):
+            raise SchemaError(f"{where}.failures must be a list")
+    return doc

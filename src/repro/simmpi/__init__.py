@@ -18,6 +18,11 @@ API whose ranks run as threads inside one process:
 
 The scaling *shape* experiments use these virtual clocks; correctness tests
 use the payloads.
+
+A bound :class:`repro.faults.plan.FaultPlan` (``Simulator(...,
+faults=plan)``) injects deterministic message/compute faults — delays,
+reordering, drop+retry, stragglers, in-flight corruption with optional
+payload checksums — for the chaos suite in :mod:`repro.faults`.
 """
 
 from repro.simmpi.communicator import Communicator, Request

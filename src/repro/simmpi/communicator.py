@@ -25,6 +25,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.faults.plan import MessageLostError, corrupt_array, payload_checksum
 from repro.obs.instrumentation import Instrumentation
 from repro.simmpi.network import NetworkModel
 
@@ -52,6 +53,9 @@ def _nbytes(payload: Any) -> int:
 class _Message:
     payload: Any
     arrival_vtime: float
+    seq: int = 0
+    checksum: int | None = None
+    drops: int = 0  # injected transmission losses the receiver must absorb
 
 
 @dataclass
@@ -64,29 +68,48 @@ class Request:
     complete_vtime: float = 0.0
     payload: Any = None
     done: bool = False
+    seq: int = 0
 
 
 class _Mailbox:
-    """Thread-safe per-rank mailbox with (source, tag) FIFO matching."""
+    """Thread-safe per-rank mailbox with (source, tag, seq) matching.
+
+    Messages carry per-edge sequence numbers, so matching is immune to
+    physical delivery order: a :class:`repro.faults.plan.Reorder` fault
+    may enqueue a message at the *front* of its queue, and receives still
+    complete in posted order (MPI's non-overtaking guarantee, restored at
+    the receiver).
+    """
 
     def __init__(self, abort: threading.Event) -> None:
         self._abort = abort
         self._cond = threading.Condition()
         self._queues: dict[tuple[int, int], deque[_Message]] = {}
 
-    def put(self, source: int, tag: int, msg: _Message) -> None:
+    def put(
+        self, source: int, tag: int, msg: _Message, front: bool = False
+    ) -> None:
         with self._cond:
-            self._queues.setdefault((source, tag), deque()).append(msg)
+            q = self._queues.setdefault((source, tag), deque())
+            if front:
+                q.appendleft(msg)
+            else:
+                q.append(msg)
             self._cond.notify_all()
 
-    def get(self, source: int, tag: int) -> _Message:
+    def get(self, source: int, tag: int, seq: int) -> _Message:
         key = (source, tag)
         with self._cond:
-            while not self._queues.get(key):
+            while True:
+                q = self._queues.get(key)
+                if q:
+                    for i, msg in enumerate(q):
+                        if msg.seq == seq:
+                            del q[i]
+                            return msg
                 if self._abort.is_set():
                     raise _Aborted()
                 self._cond.wait(timeout=0.05)
-            return self._queues[key].popleft()
 
     def wake(self) -> None:
         with self._cond:
@@ -119,6 +142,21 @@ class Communicator:
         #: ``TimingRecord`` API (``add``/``total``/``mean``/``as_dict``)
         self.timing = self.obs
         self.network: NetworkModel = simulator.network
+        #: bound fault injector (None on fault-free runs)
+        self._faults = getattr(simulator, "faults", None)
+        self._compute_factor = (
+            self._faults.compute_factor(rank)
+            if self._faults is not None
+            else 1.0
+        )
+        # per-edge sequence counters for send/recv matching
+        self._send_seq: dict[tuple[int, int], int] = {}
+        self._recv_seq: dict[tuple[int, int], int] = {}
+
+    @property
+    def faults_active(self) -> bool:
+        """True when this run injects faults (enables detection hooks)."""
+        return self._faults is not None
 
     @property
     def trace(self) -> list[tuple[str, float, float]]:
@@ -137,7 +175,13 @@ class Communicator:
 
     def isend(self, payload: Any, dest: int, tag: int = 0) -> Request:
         """Nonblocking (buffered/eager) send.  The payload is copied, so
-        the caller may reuse its buffer immediately."""
+        the caller may reuse its buffer immediately.
+
+        With a bound :class:`~repro.faults.plan.FaultPlan` the message may
+        be delayed, reordered, dropped (``drops`` attempts absorbed by the
+        receiver's retry path) or corrupted in flight; every injection is
+        counted under ``faults.*`` on the sender's instrumentation.
+        """
         if not (0 <= dest < self.size):
             raise ValueError(f"invalid destination rank {dest}")
         if isinstance(payload, np.ndarray):
@@ -145,28 +189,88 @@ class Communicator:
         nbytes = _nbytes(payload)
         self.obs.incr("comm.bytes_sent", nbytes)
         self.obs.incr("comm.msgs_sent")
+        key = (dest, tag)
+        seq = self._send_seq.get(key, 0)
+        self._send_seq[key] = seq + 1
+
+        checksum = None
+        extra_delay = 0.0
+        drops = 0
+        front = False
+        fi = self._faults
+        if fi is not None:
+            eff = fi.on_send(self.rank, dest, tag)
+            if fi.checksums and isinstance(payload, np.ndarray):
+                # checksummed before in-flight corruption is applied
+                checksum = payload_checksum(payload)
+            if eff.corrupt_mode is not None and isinstance(payload, np.ndarray):
+                if corrupt_array(payload, eff.corrupt_mode, eff.corrupt_seed):
+                    self.obs.incr("faults.corrupted")
+            if eff.delay > 0.0:
+                extra_delay = eff.delay
+                self.obs.incr("faults.delayed")
+                self.obs.incr("faults.delay_s", eff.delay)
+            if eff.drops:
+                drops = eff.drops
+                self.obs.incr("faults.dropped", eff.drops)
+            if eff.reorder:
+                front = True
+                self.obs.incr("faults.reordered")
+
         self.vtime += self.network.send_overhead
-        arrival = self.vtime + self.network.msg_time(self.rank, dest, nbytes)
-        self._sim.mailbox(dest).put(self.rank, tag, _Message(payload, arrival))
-        return Request("send", dest, tag, complete_vtime=self.vtime, done=True)
+        arrival = (
+            self.vtime
+            + self.network.msg_time(self.rank, dest, nbytes)
+            + extra_delay
+        )
+        self._sim.mailbox(dest).put(
+            self.rank,
+            tag,
+            _Message(payload, arrival, seq=seq, checksum=checksum, drops=drops),
+            front=front,
+        )
+        return Request(
+            "send", dest, tag, complete_vtime=self.vtime, done=True, seq=seq
+        )
 
     def irecv(self, source: int, tag: int = 0) -> Request:
         """Nonblocking receive; the payload is available after ``wait``."""
         if not (0 <= source < self.size):
             raise ValueError(f"invalid source rank {source}")
-        return Request("recv", source, tag)
+        key = (source, tag)
+        seq = self._recv_seq.get(key, 0)
+        self._recv_seq[key] = seq + 1
+        return Request("recv", source, tag, seq=seq)
 
     def wait(self, req: Request) -> Any:
-        """Complete one request; returns the payload for receives."""
+        """Complete one request; returns the payload for receives.
+
+        Idempotent: waiting an already-completed request (including a
+        second ``wait`` on the same handle) returns the cached payload
+        without advancing the clock or double-counting bytes.
+        """
         if req.done:
             return req.payload
         t0 = self.vtime
-        msg = self._sim.mailbox(self.rank).get(req.peer, req.tag)
+        msg = self._sim.mailbox(self.rank).get(req.peer, req.tag, req.seq)
         req.payload = msg.payload
-        req.complete_vtime = max(self.vtime, msg.arrival_vtime)
-        req.done = True
-        self.vtime = req.complete_vtime
         nbytes = _nbytes(req.payload)
+        complete = max(self.vtime, msg.arrival_vtime)
+        if msg.drops:
+            complete = self._recover_dropped(req, msg, nbytes, complete)
+        if msg.checksum is not None and isinstance(req.payload, np.ndarray):
+            if payload_checksum(req.payload) != msg.checksum:
+                self.obs.incr("faults.checksum_fail")
+                self._trace(
+                    f"fault.checksum<-{req.peer}",
+                    t0,
+                    complete,
+                    kind="fault",
+                    bytes=nbytes,
+                )
+        req.complete_vtime = complete
+        req.done = True
+        self.vtime = complete
         self.obs.incr("comm.bytes_recv", nbytes)
         self.obs.incr("comm.msgs_recv")
         self.obs.record("comm.wait", vtime=self.vtime - t0)
@@ -175,8 +279,42 @@ class Communicator:
         )
         return req.payload
 
+    def _recover_dropped(
+        self, req: Request, msg: _Message, nbytes: int, complete: float
+    ) -> float:
+        """Timeout + bounded-retry recovery of a dropped message.
+
+        Each injected drop costs the receiver a modeled ``retry_timeout``
+        (loss detection) plus one retransmission; past ``max_retries`` the
+        message is declared lost and the rank fails.
+        """
+        fi = self._faults
+        max_retries = fi.max_retries if fi is not None else 0
+        if msg.drops >= max_retries:
+            raise MessageLostError(
+                f"message {req.peer}->{self.rank} tag {req.tag} lost: "
+                f"dropped {msg.drops}x, max_retries={max_retries}"
+            )
+        retry_cost = msg.drops * (
+            fi.retry_timeout + self.network.msg_time(req.peer, self.rank, nbytes)
+        )
+        self.obs.incr("faults.retries", msg.drops)
+        self._trace(
+            f"fault.retry<-{req.peer}",
+            complete,
+            complete + retry_cost,
+            kind="fault",
+            retries=msg.drops,
+        )
+        return complete + retry_cost
+
     def waitall(self, reqs: list[Request]) -> list[Any]:
-        """Complete all requests; the clock advances to the latest."""
+        """Complete all requests; the clock advances to the latest.
+
+        Payloads come back in *request* order — sequence-numbered matching
+        keeps this stable even when a fault plan reorders the physical
+        delivery of same-edge messages.
+        """
         return [self.wait(r) for r in reqs]
 
     def send(self, payload: Any, dest: int, tag: int = 0) -> None:
@@ -252,6 +390,11 @@ class Communicator:
             yield self
         finally:
             dt = (time.thread_time() - t0) * self._sim.compute_scale
+            if self._compute_factor != 1.0:
+                self.obs.incr(
+                    "faults.straggler_s", dt * (self._compute_factor - 1.0)
+                )
+                dt *= self._compute_factor
             self.vtime += dt
             # the virtual-time delta includes nested modeled advances, so
             # hierarchical phases stay meaningful under compute_scale=0
@@ -261,9 +404,18 @@ class Communicator:
             self._trace(label, v0, self.vtime)
 
     def advance(self, seconds: float, label: str = "modeled") -> None:
-        """Advance virtual time by a modeled (not measured) duration."""
+        """Advance virtual time by a modeled (not measured) duration.
+
+        Modeled durations represent rank-local compute/device work, so a
+        :class:`~repro.faults.plan.Straggler` rule scales them too.
+        """
         if seconds < 0:
             raise ValueError("cannot advance time backwards")
+        if self._compute_factor != 1.0:
+            self.obs.incr(
+                "faults.straggler_s", seconds * (self._compute_factor - 1.0)
+            )
+            seconds *= self._compute_factor
         v0 = self.vtime
         self.vtime += seconds
         self.obs.record(label, vtime=seconds)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Sequence
 
+from repro.faults.plan import FaultPlan
 from repro.simmpi.communicator import Communicator, _Aborted, _Mailbox
 from repro.simmpi.network import NetworkModel
 
@@ -64,6 +65,10 @@ class Simulator:
         Factor applied to measured compute durations before advancing
         virtual clocks.  ``1.0`` reports this host's speed; the perfmodel
         calibration uses it to map onto Frontera core speeds.
+    faults:
+        Optional :class:`repro.faults.plan.FaultPlan`; when given, the
+        plan is bound to this run and the communicators inject its
+        message/compute faults (chaos testing).
     """
 
     def __init__(
@@ -72,6 +77,7 @@ class Simulator:
         network: NetworkModel | None = None,
         compute_scale: float = 1.0,
         trace: bool = False,
+        faults: FaultPlan | None = None,
     ):
         if not (1 <= n_ranks <= MAX_RANKS):
             raise ValueError(f"n_ranks must be in [1, {MAX_RANKS}]")
@@ -79,6 +85,8 @@ class Simulator:
         self.network = network or NetworkModel()
         self.compute_scale = compute_scale
         self.trace_enabled = trace
+        #: bound per-run fault injector (None = fault-free)
+        self.faults = faults.bind(n_ranks) if faults is not None else None
         self.compute_lock = threading.RLock()
         self.abort_event = threading.Event()
         self._mailboxes = [_Mailbox(self.abort_event) for _ in range(n_ranks)]
@@ -167,12 +175,17 @@ def run_spmd(
     network: NetworkModel | None = None,
     compute_scale: float = 1.0,
     trace: bool = False,
+    faults: FaultPlan | None = None,
     **shared_kwargs: Any,
 ) -> tuple[list[Any], Simulator]:
     """Convenience wrapper: build a :class:`Simulator`, run, return
     ``(per-rank results, simulator)``."""
     sim = Simulator(
-        n_ranks, network=network, compute_scale=compute_scale, trace=trace
+        n_ranks,
+        network=network,
+        compute_scale=compute_scale,
+        trace=trace,
+        faults=faults,
     )
     results = sim.run(program, rank_args=rank_args, **shared_kwargs)
     return results, sim

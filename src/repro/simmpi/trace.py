@@ -24,6 +24,7 @@ _GLYPHS = [
     ("spmv", "c"),
     ("update", "U"),
     ("precond", "P"),
+    ("fault", "F"),
 ]
 _GLYPHS_BY_LENGTH = sorted(_GLYPHS, key=lambda e: len(e[0]), reverse=True)
 
@@ -64,7 +65,7 @@ def render_gantt(
         lanes.append(f"rank {c.rank:3d} |" + "".join(row) + "|")
     legend = (
         "S=setup  E=EMV sweep  w=blocking wait  c=other spmv  "
-        "U=update  P=precond  *=other"
+        "U=update  P=precond  F=fault  *=other"
     )
     scale = f"0 {'-' * (width - 12)} {t_max * 1e3:.3f} ms"
     return "\n".join([*lanes, scale, legend])

@@ -7,7 +7,7 @@ variants all do).  Preconditioners: Jacobi (exact assembled diagonal) and
 block Jacobi (owned diagonal block factorized with SuperLU).
 """
 
-from repro.solvers.cg import CGResult, cg
+from repro.solvers.cg import CGResult, ResilienceConfig, cg
 from repro.solvers.constrained import dirichlet_system
 from repro.solvers.preconditioners import (
     BlockJacobiPreconditioner,
@@ -18,6 +18,7 @@ from repro.solvers.preconditioners import (
 __all__ = [
     "cg",
     "CGResult",
+    "ResilienceConfig",
     "IdentityPreconditioner",
     "JacobiPreconditioner",
     "BlockJacobiPreconditioner",

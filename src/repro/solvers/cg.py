@@ -15,9 +15,25 @@ import numpy as np
 
 from repro.simmpi.communicator import Communicator
 
-__all__ = ["cg", "CGResult"]
+__all__ = ["cg", "CGResult", "ResilienceConfig"]
 
 ApplyFn = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Breakdown detection + restart policy for :func:`cg`.
+
+    When passed, every iteration reduces a fault flag across ranks (one
+    extra scalar allreduce): non-finite ``p^T A p`` / residual norms,
+    non-SPD breakdowns, and locally detected ghost corruption (the
+    ``faults.checksum_fail`` / ``spmv.ghost_nonfinite`` counters) all
+    trigger a collective restart from the last globally-clean iterate
+    instead of diverging silently.  ``max_restarts`` bounds recovery; the
+    solve fails loudly past it.
+    """
+
+    max_restarts: int = 3
 
 
 @dataclass
@@ -28,12 +44,20 @@ class CGResult:
     iterations: int
     converged: bool
     residual_norms: list[float] = field(default_factory=list)
+    restarts: int = 0
 
     @property
     def final_relative_residual(self) -> float:
         if not self.residual_norms or self.residual_norms[0] == 0.0:
             return 0.0
         return self.residual_norms[-1] / self.residual_norms[0]
+
+
+def _fault_signals(obs) -> float:
+    """Locally observed corruption indicators (monotonic counters)."""
+    return obs.counter("faults.checksum_fail") + obs.counter(
+        "spmv.ghost_nonfinite"
+    )
 
 
 def cg(
@@ -45,6 +69,7 @@ def cg(
     rtol: float = 1e-3,
     atol: float = 0.0,
     maxiter: int = 10000,
+    resilience: ResilienceConfig | None = None,
 ) -> CGResult:
     """Preconditioned CG on the distributed system ``A x = b``.
 
@@ -61,9 +86,14 @@ def cg(
     rtol:
         Relative tolerance on ``||r||_2 / ||r_0||_2`` (the paper solves to
         ``1e-3``).
+    resilience:
+        Optional :class:`ResilienceConfig` enabling breakdown detection
+        and restart-from-last-good-iterate (chaos/fault-injection runs).
+        ``None`` keeps the classic fail-fast behaviour bit-for-bit.
     """
 
     obs = comm.obs
+    detect = resilience is not None
 
     def dot(u: np.ndarray, v: np.ndarray) -> float:
         t = comm.vtime
@@ -96,19 +126,55 @@ def cg(
     if r0 == 0.0:
         return CGResult(x, 0, True, norms)
 
+    x_good = x.copy() if detect else None
+    seen_faults = _fault_signals(obs) if detect else 0.0
+    restarts = 0
     converged = False
     it = 0
     for it in range(1, maxiter + 1):
         Ap = matvec(p)
         pAp = dot(p, Ap)
-        if pAp <= 0.0:
-            raise RuntimeError(
-                f"CG breakdown: p^T A p = {pAp:.3e} (operator not SPD?)"
-            )
-        alpha = rz / pAp
-        x += alpha * p
-        r -= alpha * Ap
-        rn = np.sqrt(dot(r, r))
+        if detect:
+            broken = (not np.isfinite(pAp)) or pAp <= 0.0
+            if not broken:
+                alpha = rz / pAp
+                x += alpha * p
+                r -= alpha * Ap
+                rn = np.sqrt(dot(r, r))
+                broken = not np.isfinite(rn)
+            faulted = _fault_signals(obs) > seen_faults
+            flag = comm.allreduce(1.0 if (broken or faulted) else 0.0, op="max")
+            if flag > 0.0:
+                # collective rollback: every rank restores the last iterate
+                # that completed without breakdowns or detected corruption,
+                # then rebuilds the Krylov state from a fresh residual
+                seen_faults = _fault_signals(obs)
+                restarts += 1
+                obs.incr("solve.breakdowns")
+                if restarts > resilience.max_restarts:
+                    raise RuntimeError(
+                        "CG: breakdown/corruption persisted beyond "
+                        f"max_restarts={resilience.max_restarts}"
+                    )
+                obs.incr("solve.restarts")
+                t_r = comm.vtime
+                x = x_good.copy()
+                r = b - matvec(x)
+                z = precond(r)
+                p = z.copy()
+                rz = dot(r, z)
+                obs.record("solve.restart", vtime=comm.vtime - t_r)
+                continue
+            x_good = x.copy()
+        else:
+            if pAp <= 0.0:
+                raise RuntimeError(
+                    f"CG breakdown: p^T A p = {pAp:.3e} (operator not SPD?)"
+                )
+            alpha = rz / pAp
+            x += alpha * p
+            r -= alpha * Ap
+            rn = np.sqrt(dot(r, r))
         norms.append(rn)
         if rn <= max(rtol * r0, atol):
             converged = True
@@ -120,4 +186,4 @@ def cg(
         p = z + beta * p
     obs.incr("solve.iterations", it)
     obs.record("solve.cg", vtime=comm.vtime - t_solve)
-    return CGResult(x, it, converged, norms)
+    return CGResult(x, it, converged, norms, restarts=restarts)

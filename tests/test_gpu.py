@@ -15,9 +15,8 @@ from repro.problems import elastic_bar_problem
 from repro.problems import poisson_problem
 
 
-def test_stream_events_obey_engine_and_stream_order():
-    s = StreamScheduler(n_streams=4)
-    s.run_batch(h2d_bytes=1e6, kernel_flops=1e7, kernel_bytes=1e7, d2h_bytes=1e6)
+def _assert_valid_timeline(s: StreamScheduler) -> None:
+    """Engine serialization + per-stream (h2d -> kernel -> d2h) order."""
     by_engine: dict[str, list] = {"h2d": [], "kernel": [], "d2h": []}
     by_stream: dict[int, list] = {}
     for e in s.events:
@@ -33,6 +32,12 @@ def test_stream_events_obey_engine_and_stream_order():
         evs.sort(key=lambda e: e.start)
         kinds = [e.kind for e in evs]
         assert kinds == ["h2d", "kernel", "d2h"] * (len(evs) // 3)
+
+
+def test_stream_events_obey_engine_and_stream_order():
+    s = StreamScheduler(n_streams=4)
+    s.run_batch(h2d_bytes=1e6, kernel_flops=1e7, kernel_bytes=1e7, d2h_bytes=1e6)
+    _assert_valid_timeline(s)
 
 
 @given(st.integers(min_value=1, max_value=16))
@@ -77,6 +82,80 @@ def test_invalid_stream_count():
         StreamScheduler(n_streams=0)
 
 
+def test_run_batch_rejects_invalid_chunking():
+    s = StreamScheduler(n_streams=2)
+    with pytest.raises(ValueError, match="n_chunks"):
+        s.run_batch(1e6, 1e7, 1e7, 1e6, n_chunks=0)
+    with pytest.raises(ValueError, match="kernel_scale"):
+        s.run_batch(1e6, 1e7, 1e7, 1e6, n_chunks=4, kernel_scale=[1.0, 1.0])
+    with pytest.raises(ValueError, match=">= 1"):
+        s.run_batch(1e6, 1e7, 1e7, 1e6, n_chunks=2, kernel_scale=[1.0, 0.5])
+
+
+def test_single_chunk_serializes_on_any_stream_count():
+    s = StreamScheduler(n_streams=8)
+    s.run_batch(1e6, 1e7, 1e7, 1e6, n_chunks=1)
+    assert len(s.events) == 3
+    assert {e.stream for e in s.events} == {0}
+    np.testing.assert_allclose(
+        s.makespan, sum(e.duration for e in s.events), rtol=1e-12
+    )
+    _assert_valid_timeline(s)
+
+
+def test_zero_byte_chunks_cost_only_launch_overhead():
+    """Empty transfers pipeline cleanly; kernels still pay the launch."""
+    s = StreamScheduler(n_streams=4)
+    ms = s.run_batch(0.0, 0.0, 0.0, 0.0, n_chunks=4)
+    assert len(s.events) == 12
+    for e in s.events:
+        if e.kind in ("h2d", "d2h"):
+            assert e.duration == 0.0
+    # four zero-size kernels on one serial compute engine
+    np.testing.assert_allclose(ms, 4 * s.gpu.kernel_launch_s, rtol=1e-12)
+    _assert_valid_timeline(s)
+
+
+def test_more_streams_than_chunks_leaves_streams_idle():
+    s = StreamScheduler(n_streams=8)
+    s.run_batch(1e6, 1e7, 1e7, 1e6, n_chunks=3)
+    assert {e.stream for e in s.events} == {0, 1, 2}
+    _assert_valid_timeline(s)
+
+
+def test_straggler_chunk_stretches_timeline_consistently():
+    """A slowed chunk (kernel_scale > 1) delays the makespan and scales
+    exactly its own kernel; the pipeline invariants survive."""
+    base = StreamScheduler(n_streams=4)
+    base.run_batch(1e6, 1e7, 1e7, 1e6, n_chunks=8)
+    slow = StreamScheduler(n_streams=4)
+    scale = [1.0] * 8
+    scale[5] = 4.0
+    slow.run_batch(1e6, 1e7, 1e7, 1e6, n_chunks=8, kernel_scale=scale)
+
+    def kernel(s, chunk):
+        return next(
+            e for e in s.events if e.kind == "kernel" and e.chunk == chunk
+        )
+
+    assert slow.makespan > base.makespan
+    np.testing.assert_allclose(
+        kernel(slow, 5).duration, 4.0 * kernel(base, 5).duration, rtol=1e-12
+    )
+    np.testing.assert_allclose(
+        kernel(slow, 0).duration, kernel(base, 0).duration, rtol=1e-12
+    )
+    _assert_valid_timeline(slow)
+
+
+def test_uniform_kernel_scale_one_changes_nothing():
+    a = StreamScheduler(n_streams=3)
+    a.run_batch(1e6, 1e7, 1e7, 1e6, n_chunks=6)
+    b = StreamScheduler(n_streams=3)
+    b.run_batch(1e6, 1e7, 1e7, 1e6, n_chunks=6, kernel_scale=[1.0] * 6)
+    assert a.events == b.events
+
+
 def test_timeline_render_contains_lanes():
     s = StreamScheduler(n_streams=2)
     s.run_batch(1e6, 1e7, 1e7, 1e6)
@@ -119,3 +198,53 @@ def test_faster_gpu_model_gives_faster_vtime():
     slow = run_bench(spec, "hymv_gpu", n_spmv=5, gpu=GpuModel(mem_gbps=50.0))
     fast = run_bench(spec, "hymv_gpu", n_spmv=5, gpu=GpuModel(mem_gbps=800.0))
     assert fast.spmv_time < slow.spmv_time
+
+
+def test_gpu_operator_single_element_ranks():
+    """Boundary: one element per rank (every element is dependent, the
+    independent device batch is empty) still matches the CPU operator."""
+    from repro.core import HymvOperator
+    from repro.fem import PoissonOperator
+    from repro.gpu import HymvGpuOperator
+    from repro.mesh import box_hex_mesh
+    from repro.partition import build_partition
+    from repro.simmpi import run_spmd
+
+    mesh = box_hex_mesh(1, 1, 2)
+    op = PoissonOperator()
+    part = build_partition(mesh, 2, method="slab")
+    x = np.random.default_rng(11).standard_normal(mesh.n_nodes)
+
+    def prog(comm, lmesh, xo, gpu):
+        cls = HymvGpuOperator if gpu else HymvOperator
+        A = cls(comm, lmesh, op)
+        return A.apply_owned(xo)
+
+    args = [
+        (part.local(r), x[part.ranges[r, 0]: part.ranges[r, 1]])
+        for r in range(2)
+    ]
+    cpu, _ = run_spmd(2, prog, rank_args=args, gpu=False)
+    gpu, _ = run_spmd(2, prog, rank_args=args, gpu=True)
+    np.testing.assert_allclose(
+        np.concatenate(gpu), np.concatenate(cpu), atol=1e-13
+    )
+
+
+@pytest.mark.parametrize("scheme", ["gpu", "gpu_cpu_overlap", "gpu_gpu_overlap"])
+def test_gpu_solve_unchanged_under_noncorrupting_faults(scheme):
+    """The GPU pipeline rides the same fault-tolerant exchange: delays,
+    reordering and drop+retry leave every scheme's solve identical."""
+    from repro.faults import Delay, Drop, FaultPlan, Reorder
+
+    spec = poisson_problem(4, 4)
+    ref = run_solve(spec, "hymv_gpu", precond="jacobi", rtol=1e-10,
+                    scheme=scheme, return_solution=True)
+    plan = FaultPlan(
+        rules=(Delay(1e-4, tag=101), Reorder(period=2), Drop(tag=101)),
+        seed=3,
+    )
+    out = run_solve(spec, "hymv_gpu", precond="jacobi", rtol=1e-10,
+                    scheme=scheme, return_solution=True, faults=plan)
+    np.testing.assert_array_equal(out.solution, ref.solution)
+    assert out.iterations == ref.iterations

@@ -205,3 +205,52 @@ def test_advance_rejects_negative():
             comm.advance(-1.0)
 
     run_spmd(1, prog)
+
+
+def test_wait_is_idempotent():
+    """A second wait on a completed request returns the cached payload
+    without advancing the clock or double-counting traffic."""
+
+    def prog(comm):
+        if comm.rank == 0:
+            sreq = comm.isend(np.arange(3, dtype=np.float64), 1, tag=4)
+            comm.wait(sreq)
+            comm.wait(sreq)  # double-wait on a send: no-op
+            comm.barrier()
+            return None
+        req = comm.irecv(0, tag=4)
+        first = comm.wait(req)
+        t = comm.vtime
+        msgs = comm.obs.counter("comm.msgs_recv")
+        again = comm.wait(req)
+        assert again is first  # cached payload, not a re-receive
+        assert comm.vtime == t
+        assert comm.obs.counter("comm.msgs_recv") == msgs
+        comm.barrier()
+        return first
+
+    res, _ = run_spmd(2, prog)
+    np.testing.assert_array_equal(res[1], np.arange(3.0))
+
+
+def test_waitall_order_preserved_under_reorder_fault():
+    """Sequence-numbered matching restores MPI's non-overtaking guarantee:
+    even when a fault plan permutes physical delivery, waitall returns
+    payloads in posted-request order."""
+    from repro.faults import FaultPlan, Reorder
+
+    def prog(comm):
+        if comm.rank == 0:
+            for i in range(3):
+                comm.isend(np.array([float(i)]), 1, tag=7)
+            comm.barrier()
+            return comm.obs.counter("faults.reordered")
+        reqs = [comm.irecv(0, tag=7) for _ in range(3)]
+        vals = [float(v[0]) for v in comm.waitall(reqs)]
+        comm.barrier()
+        return vals
+
+    plan = FaultPlan(rules=(Reorder(period=2, src=0, dst=1, tag=7),))
+    res, _ = run_spmd(2, prog, faults=plan)
+    assert res[0] == 1  # the second message physically overtook the first
+    assert res[1] == [0.0, 1.0, 2.0]
