@@ -36,10 +36,10 @@ class PartialAssemblyOperator(EbeOperatorBase):
     """Matrix-free with precomputed geometric factors (libCEED-style)."""
 
     def __init__(self, comm, lmesh, operator, ranges=None, kernel="einsum",
-                 modeled_rate_gflops=None):
+                 modeled_rate_gflops=None, workspace=True):
         super().__init__(
             comm, lmesh, operator, ranges=ranges, kernel=kernel,
-            modeled_rate_gflops=modeled_rate_gflops,
+            modeled_rate_gflops=modeled_rate_gflops, workspace=workspace,
         )
         if not isinstance(operator, (PoissonOperator, ElasticityOperator)):
             raise TypeError(
@@ -83,14 +83,23 @@ class PartialAssemblyOperator(EbeOperatorBase):
             return
         uf = u.data.reshape(-1)
         vf = v.data.reshape(-1)
-        ue = uf[idx]  # (E, nd)
+        if self._ws is not None:
+            from repro.core.kernels import gather_element_vectors
+
+            ue = gather_element_vectors(uf, idx, out=self._ws.ue[: idx.shape[0]])
+        else:
+            ue = uf[idx]  # (E, nd)
         if isinstance(self.operator, PoissonOperator):
             ve = self._apply_poisson(sl, ue)
         else:
             ve = self._apply_elasticity(sl, ue)
-        from repro.util.arrays import scatter_add
+        seg = self._segment_for(sl) if self._ws is not None else None
+        if seg is not None:
+            seg.add_into(vf, ve)
+        else:
+            from repro.util.arrays import scatter_add
 
-        scatter_add(vf, idx, ve)
+            scatter_add(vf, idx, ve)
         if self.modeled_rate_gflops:
             flops = self.flops_per_spmv() / max(self.n_local_elements, 1)
             self.comm.advance(

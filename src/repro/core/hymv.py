@@ -21,12 +21,15 @@ import numpy as np
 from repro.core.da import DistributedArray
 from repro.core.kernels import (
     EMV_KERNELS,
+    EmvWorkspace,
     accumulate_element_vectors,
+    emv_columns,
     gather_element_vectors,
 )
 from repro.core.maps import NodeMaps, build_node_maps
 from repro.core.scatter import (
     CommMaps,
+    HaloExchange,
     build_comm_maps,
     gather_begin,
     gather_end,
@@ -34,6 +37,7 @@ from repro.core.scatter import (
     scatter_begin,
     scatter_end,
 )
+from repro.core.segment import SegmentScatter
 from repro.fem.operators import Operator
 from repro.partition.interface import LocalMesh
 from repro.simmpi.communicator import Communicator
@@ -53,6 +57,7 @@ class EbeOperatorBase:
         ranges: np.ndarray | None = None,
         kernel: str = "einsum",
         modeled_rate_gflops: float | None = None,
+        workspace: bool = True,
     ):
         self.comm = comm
         self.lmesh = lmesh
@@ -61,6 +66,7 @@ class EbeOperatorBase:
         self.etype = lmesh.etype
         if kernel not in EMV_KERNELS:
             raise ValueError(f"unknown EMV kernel {kernel!r}")
+        self.kernel_name = kernel
         self.kernel = EMV_KERNELS[kernel]
         # optional deterministic compute model: each EMV sweep advances
         # virtual time by flops/rate instead of relying on measured wall
@@ -100,6 +106,30 @@ class EbeOperatorBase:
         # under fault injection, sanity-check received ghost values so
         # corruption surfaces as a counter the resilient solver can act on
         self._check_ghosts = bool(getattr(comm, "faults_active", False))
+        self._recv_all = (
+            np.concatenate(self.cmaps.recv_slots).astype(INDEX_DTYPE)
+            if self.cmaps.recv_slots
+            else np.empty(0, dtype=INDEX_DTYPE)
+        )
+
+        # zero-allocation hot path: preallocated EMV workspace, packed
+        # halo buffers and precomputed segment-sum scatters per sweep.
+        # ``workspace=False`` keeps the legacy allocating path as the
+        # bitwise reference for equivalence tests and ablations.
+        self.workspace_enabled = bool(workspace)
+        self._ws: EmvWorkspace | None = None
+        self.halo: HaloExchange | None = None
+        self._seg_indep: SegmentScatter | None = None
+        self._seg_dep: SegmentScatter | None = None
+        self._seg_all: SegmentScatter | None = None
+        if workspace:
+            with comm.compute("setup.workspace"):
+                self._ws = EmvWorkspace(
+                    lmesh.n_local_elements, self.e2l_dofs.shape[1]
+                )
+                self.halo = HaloExchange(self.cmaps, self.ndpn)
+                self._seg_indep = SegmentScatter(self.e2l_dofs[self._sl_indep])
+                self._seg_dep = SegmentScatter(self.e2l_dofs[self._sl_dep])
 
     # -- construction helpers -------------------------------------------
 
@@ -121,6 +151,24 @@ class EbeOperatorBase:
         recompute is the HYMV/matrix-free distinction)."""
         raise NotImplementedError
 
+    def _segment_for(self, sl: slice) -> SegmentScatter | None:
+        """Precomputed segment scatter of a sweep slice (``None`` when
+        the slice has no frozen structure, e.g. GPU chunk schedules)."""
+        if sl is self._sl_indep:
+            return self._seg_indep
+        if sl is self._sl_dep:
+            return self._seg_dep
+        if sl is self._sl_all:
+            if self._seg_all is None and self.workspace_enabled:
+                self._seg_all = SegmentScatter(self.e2l_dofs)
+            return self._seg_all
+        return None
+
+    def _columns_batch(self, sl: slice) -> np.ndarray | None:
+        """Optional precomputed column-major matrix batch for the
+        ``columns`` kernel (operators with stored matrices override)."""
+        return None
+
     def _emv_sweep(
         self, u: DistributedArray, v: DistributedArray, sl: slice
     ) -> None:
@@ -130,9 +178,25 @@ class EbeOperatorBase:
         ke = self._element_matrices(sl)
         uf = u.data.reshape(-1)
         vf = v.data.reshape(-1)
-        ue = gather_element_vectors(uf, idx)
-        ve = self.kernel(ke, ue)
-        accumulate_element_vectors(vf, idx, ve)
+        if self._ws is not None:
+            ue, ve = self._ws.views(idx.shape[0])
+            gather_element_vectors(uf, idx, out=ue)
+            if self.kernel is emv_columns:
+                emv_columns(
+                    ke, ue, out=ve, tmp=self._ws.tmp[: idx.shape[0]],
+                    columns=self._columns_batch(sl),
+                )
+            else:
+                self.kernel(ke, ue, out=ve)
+            seg = self._segment_for(sl)
+            if seg is not None:
+                seg.add_into(vf, ve)
+            else:
+                accumulate_element_vectors(vf, idx, ve)
+        else:
+            ue = gather_element_vectors(uf, idx)
+            ve = self.kernel(ke, ue)
+            accumulate_element_vectors(vf, idx, ve)
         flops = idx.shape[0] * self.operator.emv_flops(self.etype)
         self.comm.obs.incr("spmv.elements", idx.shape[0])
         self.comm.obs.incr("spmv.flops", flops)
@@ -144,11 +208,14 @@ class EbeOperatorBase:
     def _verify_ghosts(self, u: DistributedArray) -> None:
         """Flag non-finite received ghost values (fault-injection runs
         only): raises the ``spmv.ghost_nonfinite`` counter that the
-        resilient CG treats as a local corruption signal."""
-        bad = 0
-        for slots in self.cmaps.recv_slots:
-            vals = u.data[slots]
-            bad += int(vals.size - np.count_nonzero(np.isfinite(vals)))
+        resilient CG treats as a local corruption signal.
+
+        One vectorized ``isfinite`` pass over the concatenated recv-slot
+        array precomputed at setup (no per-neighbor Python loop)."""
+        if self._recv_all.size == 0:
+            return
+        vals = u.data[self._recv_all]
+        bad = int(vals.size - np.count_nonzero(np.isfinite(vals)))
         if bad:
             self.comm.obs.incr("spmv.ghost_nonfinite", bad)
 
@@ -168,14 +235,21 @@ class EbeOperatorBase:
         the blocking variant used in the ablation study.
         """
         comm = self.comm
+        halo = self.halo
         t0 = comm.vtime
         v.data[:] = 0.0
         if overlap:
-            reqs = scatter_begin(comm, u.data, self.cmaps)
+            if halo is not None:
+                reqs = halo.scatter_begin(comm, u.data)
+            else:
+                reqs = scatter_begin(comm, u.data, self.cmaps)
             with comm.compute("spmv.emv.independent"):
                 self._emv_sweep(u, v, self._sl_indep)
             tw = comm.vtime
-            scatter_end(comm, u.data, self.cmaps, reqs)
+            if halo is not None:
+                halo.scatter_end(comm, u.data, reqs)
+            else:
+                scatter_end(comm, u.data, self.cmaps, reqs)
             comm.timing.add("spmv.scatter.wait", comm.vtime - tw)
             if self._check_ghosts:
                 self._verify_ghosts(u)
@@ -183,15 +257,21 @@ class EbeOperatorBase:
                 self._emv_sweep(u, v, self._sl_dep)
         else:
             tw = comm.vtime
-            scatter(comm, u.data, self.cmaps)
+            if halo is not None:
+                halo.scatter(comm, u.data)
+            else:
+                scatter(comm, u.data, self.cmaps)
             comm.timing.add("spmv.scatter.wait", comm.vtime - tw)
             if self._check_ghosts:
                 self._verify_ghosts(u)
             with comm.compute("spmv.emv.all"):
                 self._emv_sweep(u, v, self._sl_all)
         tg = comm.vtime
-        greqs = gather_begin(comm, v.data, self.cmaps)
-        gather_end(comm, v.data, self.cmaps, greqs)
+        if halo is not None:
+            halo.gather_end(comm, v.data, halo.gather_begin(comm, v.data))
+        else:
+            greqs = gather_begin(comm, v.data, self.cmaps)
+            gather_end(comm, v.data, self.cmaps, greqs)
         comm.timing.add("spmv.gather", comm.vtime - tg)
         comm.timing.add("spmv.total", comm.vtime - t0)
         self.spmv_count += 1
@@ -203,13 +283,20 @@ class EbeOperatorBase:
 
     def apply_owned(self, x: np.ndarray) -> np.ndarray:
         """MatShell-style application on owned dof vectors (what the CG
-        solver calls); halo handling is internal."""
+        solver calls); halo handling is internal.
+
+        **Aliasing contract:** the returned array is a *view* into a
+        work buffer owned by the operator and is overwritten by the next
+        ``apply_owned``/``spmv`` call.  Callers that keep the result
+        across applications must copy it (the CG solver consumes it
+        immediately; :func:`as_scipy_operator` copies on behalf of
+        scipy's solvers)."""
         if not hasattr(self, "_work_u"):
             self._work_u = self.new_array()
             self._work_v = self.new_array()
         self._work_u.set_owned(x)
         self.spmv(self._work_u, self._work_v)
-        return self._work_v.owned_flat.copy()
+        return self._work_v.owned_flat
 
     # -- preconditioner support (shared: HYMV loads stored matrices,
     #    matrix-free recomputes once) --------------------------------------
@@ -314,6 +401,7 @@ class HymvOperator(EbeOperatorBase):
         kernel: str = "einsum",
         modeled_rate_gflops: float | None = None,
         ke_cache: dict | None = None,
+        workspace: bool = True,
     ):
         """``ke_cache`` optionally maps *global element ids* to previously
         computed element matrices (e.g. carried across an adaptive
@@ -322,7 +410,7 @@ class HymvOperator(EbeOperatorBase):
         adaptive-matrix property across mesh changes."""
         super().__init__(
             comm, lmesh, operator, ranges=ranges, kernel=kernel,
-            modeled_rate_gflops=modeled_rate_gflops,
+            modeled_rate_gflops=modeled_rate_gflops, workspace=workspace,
         )
         gids = lmesh.elements[self._order]
         if ke_cache:
@@ -343,6 +431,15 @@ class HymvOperator(EbeOperatorBase):
                 )
             self.ke = np.ascontiguousarray(ke)
         self.cache_hits = int(hit.sum())
+        # column-major matrix layout for the ``columns`` kernel: the
+        # strided ``ke[:, :, j]`` reads fetch a full cache line per
+        # double; ``_kcol[j]`` streams the same column contiguously
+        # (paper eq. 4's SIMD layout).  Same operands, same add order —
+        # bitwise identical products.
+        self._kcol: np.ndarray | None = None
+        if self.workspace_enabled and self.kernel_name == "columns":
+            with comm.compute("setup.column_layout"):
+                self._kcol = np.ascontiguousarray(self.ke.transpose(2, 0, 1))
 
     def export_ke_cache(self) -> dict:
         """Element matrices keyed by global element id (for reuse across
@@ -352,6 +449,9 @@ class HymvOperator(EbeOperatorBase):
 
     def _element_matrices(self, sl: slice) -> np.ndarray:
         return self.ke[sl]  # a view — slices never copy
+
+    def _columns_batch(self, sl: slice) -> np.ndarray | None:
+        return None if self._kcol is None else self._kcol[:, sl]
 
     # -- adaptivity (the XFEM / AMR use-case, paper §I & §III) ------------
 
@@ -383,6 +483,8 @@ class HymvOperator(EbeOperatorBase):
                 ke = ke * scale.reshape(-1, 1, 1)
         with self.comm.compute("update.local_copy"):
             self.ke[pos] = ke
+            if self._kcol is not None:
+                self._kcol[:, pos] = ke.transpose(2, 0, 1)
 
     def stored_bytes(self) -> int:
         """Memory footprint of the stored element matrices."""
@@ -396,8 +498,15 @@ def as_scipy_operator(op) -> "object":
     Lets scipy's iterative solvers (CG, MINRES, LOBPCG, ...) drive the
     distributed operator directly on a single rank, or a rank-local block
     in tests — handy for interop and for cross-checking our own CG.
+
+    ``apply_owned`` returns a view into the operator's work buffer;
+    scipy solvers keep matvec results across calls, so copy here.
     """
     from scipy.sparse.linalg import LinearOperator
 
     n = op.n_dofs_owned
-    return LinearOperator((n, n), matvec=op.apply_owned, rmatvec=op.apply_owned)
+
+    def matvec(x: np.ndarray) -> np.ndarray:
+        return np.array(op.apply_owned(x), copy=True)
+
+    return LinearOperator((n, n), matvec=matvec, rmatvec=matvec)

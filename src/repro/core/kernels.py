@@ -9,6 +9,10 @@ indexing.  Two kernels are provided:
   column-major and the product formed as a sum of scaled columns (the
   layout the paper vectorizes with AVX512/OpenMP-SIMD).  Kept as an
   ablation to compare kernel formulations.
+
+Both kernels accept ``out=`` (and ``columns`` a preallocated ``tmp=``
+and an optional column-major matrix batch ``columns=``) so the operator
+hot path can run allocation-free against an :class:`EmvWorkspace`.
 """
 
 from __future__ import annotations
@@ -21,41 +25,134 @@ __all__ = [
     "emv_einsum",
     "emv_columns",
     "EMV_KERNELS",
+    "EmvWorkspace",
     "gather_element_vectors",
     "accumulate_element_vectors",
 ]
 
 
-def emv_einsum(ke: np.ndarray, ue: np.ndarray) -> np.ndarray:
+def emv_einsum(
+    ke: np.ndarray, ue: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
     """``ve[e] = Ke[e] @ ue[e]`` over the whole batch at once (batched
-    BLAS gemv via ``matmul``)."""
-    return np.matmul(ke, ue[:, :, None])[:, :, 0]
+    BLAS gemv via ``matmul``).
+
+    With ``out=`` the product is written into the given ``(E, nd)``
+    buffer (viewed as ``(E, nd, 1)``) with no heap allocation; the
+    result bits are identical either way.
+    """
+    if out is None:
+        return np.matmul(ke, ue[:, :, None])[:, :, 0]
+    np.matmul(ke, ue[:, :, None], out=out[:, :, None])
+    return out
 
 
-def emv_columns(ke: np.ndarray, ue: np.ndarray) -> np.ndarray:
+def emv_columns(
+    ke: np.ndarray,
+    ue: np.ndarray,
+    out: np.ndarray | None = None,
+    tmp: np.ndarray | None = None,
+    columns: np.ndarray | None = None,
+) -> np.ndarray:
     """Column-major sum-of-scaled-columns EMV (paper eq. 4).
 
     ``ve = sum_j Ke[:, j] * ue[j]`` — each term is a contiguous column
     streamed through a fused multiply-add, which is how the paper's SIMD
     kernel is written.
+
+    Parameters
+    ----------
+    out, tmp:
+        Optional preallocated ``(E, nd)`` buffers; with both given the
+        kernel allocates nothing.
+    columns:
+        Optional column-major copy of the matrix batch with shape
+        ``(nd, E, nd)`` where ``columns[j] == ke[:, :, j]`` contiguous.
+        The strided column reads of ``ke`` are this kernel's bandwidth
+        bottleneck (a full cache line is fetched per double); streaming
+        the precomputed contiguous columns instead is the paper's SIMD
+        layout.  The multiply operands and the add order are unchanged,
+        so the result is bitwise identical with or without it.
     """
     nd = ke.shape[2]
-    ve = ke[:, :, 0] * ue[:, 0, None]
+    col = (lambda j: columns[j]) if columns is not None else (lambda j: ke[:, :, j])
+    if out is None:
+        ve = col(0) * ue[:, 0, None]
+        for j in range(1, nd):
+            ve += col(j) * ue[:, j, None]
+        return ve
+    # einsum instead of a broadcast multiply: a length-1 (0-stride)
+    # operand sends the ufunc machinery through its 64 KiB buffered
+    # iterator, which would be the hot path's only heap allocation.
+    # The per-element arithmetic is the same single multiply — bitwise
+    # identical to the broadcast form.
+    np.einsum("en,e->en", col(0), ue[:, 0], out=out)
+    if tmp is None:
+        for j in range(1, nd):
+            out += col(j) * ue[:, j, None]
+        return out
     for j in range(1, nd):
-        ve += ke[:, :, j] * ue[:, j, None]
-    return ve
+        np.einsum("en,e->en", col(j), ue[:, j], out=tmp)
+        out += tmp
+    return out
 
 
 EMV_KERNELS = {"einsum": emv_einsum, "columns": emv_columns}
 
 
+class EmvWorkspace:
+    """Preallocated scratch for the EMV sweep hot path (Alg. 2).
+
+    One workspace per operator, sized for the *largest* sweep (all local
+    elements); each sweep takes a leading-slice view, so the independent
+    and dependent sweeps share the same memory.  Holds:
+
+    * ``ue`` — gathered element input vectors, ``(n_elements, nd)``;
+    * ``ve`` — elemental products, same shape;
+    * ``tmp`` — per-column FMA scratch for the ``columns`` kernel.
+    """
+
+    __slots__ = ("n_elements", "nd", "ue", "ve", "_tmp")
+
+    def __init__(self, n_elements: int, nd: int):
+        self.n_elements = int(n_elements)
+        self.nd = int(nd)
+        self.ue = np.empty((self.n_elements, self.nd))
+        self.ve = np.empty((self.n_elements, self.nd))
+        self._tmp: np.ndarray | None = None  # columns kernel only
+
+    @property
+    def tmp(self) -> np.ndarray:
+        """Per-column FMA scratch, allocated on first use (the einsum
+        kernel never touches it — keep its cache footprint at zero)."""
+        if self._tmp is None:
+            self._tmp = np.empty((self.n_elements, self.nd))
+        return self._tmp
+
+    def views(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        """Leading-slice views ``(ue, ve)`` for a sweep of ``n``
+        elements."""
+        return self.ue[:n], self.ve[:n]
+
+
 def gather_element_vectors(
-    flat_data: np.ndarray, e2l_dofs: np.ndarray, elems: np.ndarray | None = None
+    flat_data: np.ndarray,
+    e2l_dofs: np.ndarray,
+    elems: np.ndarray | None = None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Extract element vectors ``ue`` (Alg. 2 line 4) from a flat local
-    dof vector via the dof-level E2L map."""
+    dof vector via the dof-level E2L map.
+
+    With ``out=`` the gather lands in the given buffer allocation-free
+    (``mode="clip"`` skips the bounds check that would otherwise route
+    through a temporary; the maps are validated at construction).
+    """
     idx = e2l_dofs if elems is None else e2l_dofs[elems]
-    return flat_data[idx]
+    if out is None:
+        return flat_data[idx]
+    np.take(flat_data, idx, out=out, mode="clip")
+    return out
 
 
 def accumulate_element_vectors(

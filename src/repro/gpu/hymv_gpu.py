@@ -23,6 +23,7 @@ from repro.core.da import DistributedArray
 from repro.core.hymv import HymvOperator
 from repro.core.kernels import (
     accumulate_element_vectors,
+    emv_columns,
     gather_element_vectors,
 )
 from repro.core.scatter import (
@@ -59,8 +60,12 @@ class HymvGpuOperator(HymvOperator):
         gpu: GpuModel = GPU_NODE,
         machine: FronteraMachine = FRONTERA,
         threads: int = 4,
+        workspace: bool = True,
     ):
-        super().__init__(comm, lmesh, operator, ranges=ranges, kernel=kernel)
+        super().__init__(
+            comm, lmesh, operator, ranges=ranges, kernel=kernel,
+            workspace=workspace,
+        )
         if scheme not in ("gpu", "gpu_cpu_overlap", "gpu_gpu_overlap"):
             raise ValueError(f"unknown GPU scheme {scheme!r}")
         self.n_streams = n_streams
@@ -91,7 +96,11 @@ class HymvGpuOperator(HymvOperator):
         uf = u.data.reshape(-1)
         vf = v.data.reshape(-1)
         # host: build bue (pinned staging buffer), Alg. 3 line 3
-        ue = gather_element_vectors(uf, idx)
+        if self._ws is not None:
+            ue, _ = self._ws.views(idx.shape[0])
+            gather_element_vectors(uf, idx, out=ue)
+        else:
+            ue = gather_element_vectors(uf, idx)
         t_host = ue.nbytes / self._host_rate()
         # device: chunked pipeline
         sched = StreamScheduler(gpu=self.gpu, n_streams=self.n_streams)
@@ -109,11 +118,30 @@ class HymvGpuOperator(HymvOperator):
         obs.incr("gpu.kernel_flops", 2.0 * E * nd * nd)
         obs.incr("gpu.batches")
         sched.export_events(obs, t_offset=self.comm.vtime)
-        ve = self.kernel(ke, ue)  # the actual math (device-equivalent)
+        ve = self._kernel_into(ke, ue, sl)  # actual math (device-equivalent)
         # host: accumulate bve, Alg. 3 line 8
-        accumulate_element_vectors(vf, idx, ve)
+        self._accumulate(vf, idx, ve, sl)
         t_host += ve.nbytes / self._host_rate()
         return t_host + t_pipe
+
+    def _kernel_into(self, ke, ue, sl) -> np.ndarray:
+        """Run the EMV kernel, through the workspace when enabled."""
+        if self._ws is None:
+            return self.kernel(ke, ue)
+        _, ve = self._ws.views(ue.shape[0])
+        if self.kernel is emv_columns:
+            return emv_columns(
+                ke, ue, out=ve, tmp=self._ws.tmp[: ue.shape[0]],
+                columns=self._columns_batch(sl),
+            )
+        return self.kernel(ke, ue, out=ve)
+
+    def _accumulate(self, vf, idx, ve, sl) -> None:
+        seg = self._segment_for(sl) if self._ws is not None else None
+        if seg is not None:
+            seg.add_into(vf, ve)
+        else:
+            accumulate_element_vectors(vf, idx, ve)
 
     def spmv(
         self,
@@ -122,39 +150,58 @@ class HymvGpuOperator(HymvOperator):
         overlap: bool | None = None,
     ) -> DistributedArray:
         comm = self.comm
+        halo = self.halo
         t0 = comm.vtime
         v.data[:] = 0.0
         scheme = self.scheme
         if overlap is not None:  # the base-class flag maps onto schemes
             scheme = "gpu_gpu_overlap" if overlap else scheme
+
+        def _scatter_begin():
+            if halo is not None:
+                return halo.scatter_begin(comm, u.data)
+            return scatter_begin(comm, u.data, self.cmaps)
+
+        def _scatter_end(reqs):
+            if halo is not None:
+                halo.scatter_end(comm, u.data, reqs)
+            else:
+                scatter_end(comm, u.data, self.cmaps, reqs)
+
         if scheme == "gpu":
-            scatter(comm, u.data, self.cmaps)
+            if halo is not None:
+                halo.scatter(comm, u.data)
+            else:
+                scatter(comm, u.data, self.cmaps)
             if self._check_ghosts:
                 self._verify_ghosts(u)
             comm.advance(self._device_sweep(u, v, self._sl_all), "spmv.gpu")
         elif scheme == "gpu_gpu_overlap":
-            reqs = scatter_begin(comm, u.data, self.cmaps)
+            reqs = _scatter_begin()
             comm.advance(
                 self._device_sweep(u, v, self._sl_indep), "spmv.gpu.independent"
             )
-            scatter_end(comm, u.data, self.cmaps, reqs)
+            _scatter_end(reqs)
             if self._check_ghosts:
                 self._verify_ghosts(u)
             comm.advance(
                 self._device_sweep(u, v, self._sl_dep), "spmv.gpu.dependent"
             )
         else:  # gpu_cpu_overlap: dependent elements on the host CPU
-            reqs = scatter_begin(comm, u.data, self.cmaps)
+            reqs = _scatter_begin()
             comm.advance(
                 self._device_sweep(u, v, self._sl_indep), "spmv.gpu.independent"
             )
-            scatter_end(comm, u.data, self.cmaps, reqs)
+            _scatter_end(reqs)
             if self._check_ghosts:
                 self._verify_ghosts(u)
             t_cpu = self._cpu_sweep(u, v, self._sl_dep)
             comm.advance(t_cpu, "spmv.cpu.dependent")
-        greqs = gather_begin(comm, v.data, self.cmaps)
-        gather_end(comm, v.data, self.cmaps, greqs)
+        if halo is not None:
+            halo.gather_end(comm, v.data, halo.gather_begin(comm, v.data))
+        else:
+            greqs = gather_begin(comm, v.data, self.cmaps)
+            gather_end(comm, v.data, self.cmaps, greqs)
         comm.timing.add("spmv.total", comm.vtime - t0)
         self.spmv_count += 1
         return v
@@ -167,9 +214,13 @@ class HymvGpuOperator(HymvOperator):
         if idx.shape[0] == 0:
             return 0.0
         ke = self.ke[sl]
-        ue = gather_element_vectors(u.data.reshape(-1), idx)
-        ve = self.kernel(ke, ue)
-        accumulate_element_vectors(v.data.reshape(-1), idx, ve)
+        if self._ws is not None:
+            ue, _ = self._ws.views(idx.shape[0])
+            gather_element_vectors(u.data.reshape(-1), idx, out=ue)
+        else:
+            ue = gather_element_vectors(u.data.reshape(-1), idx)
+        ve = self._kernel_into(ke, ue, sl)
+        self._accumulate(v.data.reshape(-1), idx, ve, sl)
         r = self.machine.rates
         eff = self.threads * r.omp_efficiency if self.threads > 1 else 1.0
         flops = 2.0 * ue.shape[0] * ue.shape[1] ** 2

@@ -183,38 +183,56 @@ def _summary_table(doc: dict[str, Any]) -> str:
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(
         prog="python -m repro.harness bench",
-        description="Run the CI smoke bench and emit BENCH_smoke.json",
+        description="Run a bench suite and emit BENCH_<suite>.json",
     )
     ap.add_argument(
-        "--repeats", type=int, default=3, help="repeats per (case, method)"
+        "--suite",
+        choices=["smoke", "kernels"],
+        default="smoke",
+        help="smoke: modeled multi-rank matrix (machine-independent); "
+        "kernels: measured single-rank SPMV hot-path microbench",
+    )
+    ap.add_argument(
+        "--repeats", type=int, default=None, help="repeats per (case, method)"
     )
     ap.add_argument(
         "--out",
         type=pathlib.Path,
-        default=pathlib.Path("BENCH_smoke.json"),
-        help="output JSON path (default: ./BENCH_smoke.json)",
+        default=None,
+        help="output JSON path (default: ./BENCH_<suite>.json)",
     )
     ap.add_argument(
         "--measured",
         action="store_true",
-        help="measure real compute instead of the deterministic model "
-        "(machine-dependent output; not comparable across hosts)",
+        help="smoke suite only: measure real compute instead of the "
+        "deterministic model (machine-dependent output; not comparable "
+        "across hosts)",
     )
     ap.add_argument("--quiet", action="store_true")
     args = ap.parse_args(argv)
+    if args.repeats is None:
+        args.repeats = 3 if args.suite == "smoke" else 5
     if args.repeats < 1:
         ap.error(f"--repeats must be >= 1 (got {args.repeats})")
+    if args.out is None:
+        args.out = pathlib.Path(f"BENCH_{args.suite}.json")
 
-    doc = run_smoke_suite(
-        repeats=args.repeats,
-        modeled=not args.measured,
-        verbose=not args.quiet,
-    )
+    if args.suite == "kernels":
+        from repro.obs.kernelbench import run_kernels_suite
+
+        doc = run_kernels_suite(repeats=args.repeats, verbose=not args.quiet)
+    else:
+        doc = run_smoke_suite(
+            repeats=args.repeats,
+            modeled=not args.measured,
+            verbose=not args.quiet,
+        )
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     if not args.quiet:
-        print()
-        print(_summary_table(doc))
+        if args.suite == "smoke":
+            print()
+            print(_summary_table(doc))
         print(f"\n[bench] wrote {args.out}")
     return 0
 

@@ -8,6 +8,20 @@ flaking).  Counter *increases* beyond their own budget also fail — more
 bytes on the wire or more elements swept for the same problem is a
 regression even if the modeled clock hides it.
 
+Two absolute gates exist for *measured* suites, where raw wall-clock
+medians are machine-dependent and must never be compared across hosts:
+
+* ``--require-zero NAME@SUBSTR`` — counter ``NAME`` must be exactly 0 in
+  every candidate result whose key contains ``SUBSTR`` (e.g. the
+  ``spmv.bytes_alloc`` tracemalloc counter on workspace rows);
+* ``--min-speedup VALUE@SUBSTR`` — every matching candidate result must
+  carry ``speedup_vs_reference >= VALUE``.  The ratio is taken between
+  two runs on the *same* machine inside one bench invocation, so it is
+  portable even though the medians it is built from are not.
+
+Both flags are repeatable, match on the candidate only, and fail when no
+result matches (a gate that silently matches nothing is misconfigured).
+
 Exit codes: ``0`` pass, ``1`` regression, ``2`` bad input/schema.
 """
 
@@ -111,16 +125,104 @@ def _compare_counters(
             )
 
 
+def _check_zero_counters(
+    cand_doc: dict[str, Any],
+    require_zero: list[tuple[str, str]],
+    findings: list[Finding],
+) -> None:
+    """Absolute gate: counter must be exactly 0 in matching results."""
+    for name, substr in require_zero:
+        matched = False
+        for res in cand_doc["results"]:
+            key = result_key(res)
+            if substr not in key:
+                continue
+            matched = True
+            value = res["counters"].get(name)
+            if value is None:
+                findings.append(
+                    Finding("fail", f"{key} {name}", "required counter missing")
+                )
+            elif value != 0:
+                findings.append(
+                    Finding(
+                        "fail",
+                        f"{key} {name}",
+                        f"must be 0, got {value:.6g}",
+                    )
+                )
+        if not matched:
+            findings.append(
+                Finding(
+                    "fail",
+                    f"--require-zero {name}@{substr}",
+                    "no candidate result matches the key substring",
+                )
+            )
+
+
+def _check_min_speedups(
+    cand_doc: dict[str, Any],
+    min_speedup: list[tuple[float, str]],
+    findings: list[Finding],
+) -> None:
+    """Absolute gate: ``speedup_vs_reference`` floor on matching results."""
+    for floor, substr in min_speedup:
+        matched = False
+        for res in cand_doc["results"]:
+            key = result_key(res)
+            if substr not in key:
+                continue
+            matched = True
+            ratio = res.get("speedup_vs_reference")
+            if ratio is None:
+                findings.append(
+                    Finding(
+                        "fail",
+                        f"{key} speedup_vs_reference",
+                        "result carries no speedup ratio",
+                    )
+                )
+            elif ratio < floor:
+                findings.append(
+                    Finding(
+                        "fail",
+                        f"{key} speedup_vs_reference",
+                        f"{ratio:.2f}x < required {floor:.2f}x",
+                    )
+                )
+            else:
+                findings.append(
+                    Finding(
+                        "info",
+                        f"{key} speedup_vs_reference",
+                        f"{ratio:.2f}x >= required {floor:.2f}x",
+                    )
+                )
+        if not matched:
+            findings.append(
+                Finding(
+                    "fail",
+                    f"--min-speedup {floor}@{substr}",
+                    "no candidate result matches the key substring",
+                )
+            )
+
+
 def compare_docs(
     base_doc: dict[str, Any],
     cand_doc: dict[str, Any],
     budget: float = 0.25,
     counter_budget: float = 0.01,
+    require_zero: list[tuple[str, str]] | None = None,
+    min_speedup: list[tuple[float, str]] | None = None,
 ) -> tuple[bool, list[Finding]]:
     """Compare candidate against baseline; returns ``(ok, findings)``.
 
     ``budget`` is the allowed relative increase of any phase median;
     ``counter_budget`` the allowed relative increase of any counter.
+    ``require_zero`` and ``min_speedup`` are the absolute candidate-side
+    gates described in the module docstring.
     """
     validate_bench_doc(base_doc)
     validate_bench_doc(cand_doc)
@@ -147,8 +249,20 @@ def compare_docs(
             continue
         _compare_phases(key, base, cand, budget, findings)
         _compare_counters(key, base, cand, counter_budget, findings)
+    if require_zero:
+        _check_zero_counters(cand_doc, require_zero, findings)
+    if min_speedup:
+        _check_min_speedups(cand_doc, min_speedup, findings)
     ok = not any(f.severity == "fail" for f in findings)
     return ok, findings
+
+
+def _split_gate(spec: str) -> tuple[str, str]:
+    """Split a ``NAME@SUBSTR`` / ``VALUE@SUBSTR`` gate spec."""
+    left, sep, right = spec.partition("@")
+    if not sep or not left or not right:
+        raise SchemaError(f"bad gate spec {spec!r} (expected NAME@SUBSTR)")
+    return left, right
 
 
 def _load(path: pathlib.Path) -> dict[str, Any]:
@@ -179,13 +293,45 @@ def main(argv: list[str] | None = None) -> int:
         default=0.01,
         help="allowed relative counter increase (default 0.01)",
     )
+    ap.add_argument(
+        "--require-zero",
+        action="append",
+        default=[],
+        metavar="NAME@SUBSTR",
+        help="counter NAME must be 0 in every candidate result whose key "
+        "contains SUBSTR (repeatable; fails if nothing matches)",
+    )
+    ap.add_argument(
+        "--min-speedup",
+        action="append",
+        default=[],
+        metavar="VALUE@SUBSTR",
+        help="speedup_vs_reference must be >= VALUE in every candidate "
+        "result whose key contains SUBSTR (repeatable; fails if nothing "
+        "matches)",
+    )
     args = ap.parse_args(argv)
 
     try:
+        require_zero = [_split_gate(s) for s in args.require_zero]
+        min_speedup = []
+        for s in args.min_speedup:
+            value, sub = _split_gate(s)
+            try:
+                min_speedup.append((float(value), sub))
+            except ValueError:
+                raise SchemaError(
+                    f"bad --min-speedup value {value!r} in {s!r}"
+                ) from None
         base = validate_bench_doc(_load(args.baseline))
         cand = validate_bench_doc(_load(args.candidate))
         ok, findings = compare_docs(
-            base, cand, budget=args.budget, counter_budget=args.counter_budget
+            base,
+            cand,
+            budget=args.budget,
+            counter_budget=args.counter_budget,
+            require_zero=require_zero,
+            min_speedup=min_speedup,
         )
     except SchemaError as exc:
         print(f"[compare] error: {exc}", file=sys.stderr)

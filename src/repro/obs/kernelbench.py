@@ -1,0 +1,260 @@
+"""The kernels microbench suite: ``python -m repro.harness bench --suite kernels``.
+
+Measures the *real* single-rank SPMV hot path — no simulator threads, no
+virtual clock — on medium meshes, comparing the legacy allocating path
+(``workspace=False``, exactly the pre-workspace code) against the
+zero-allocation workspace path, for both EMV kernels.  Three properties
+are machine-checked per (case, kernel):
+
+* **speed** — wall-clock per SPMV, medians over repeats; workspace rows
+  carry ``speedup_vs_reference`` (a same-machine ratio, so it *is*
+  portable across hosts, unlike the raw wall medians);
+* **bitwise identity** — the workspace product must equal the reference
+  product bit for bit, asserted in-process before any timing is trusted;
+* **zero allocation** — ``tracemalloc`` bounds the peak heap growth over
+  post-warmup SPMVs; the ``spmv.bytes_alloc`` counter is the floored
+  value (see ``ALLOC_FLOOR_BYTES``) that CI gates to zero.
+
+Wall-clock medians are machine-dependent; the CI gate therefore only
+checks the ratio and the allocation counter, never absolute times.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.obs.instrumentation import Instrumentation
+from repro.obs.schema import new_bench_doc, validate_bench_doc
+
+__all__ = ["KernelCase", "KERNEL_CASES", "run_kernels_suite"]
+
+#: peak-heap growth (bytes) attributable to interpreter-level object
+#: churn (boxed floats and dict entries from the instrumentation layer),
+#: measured well under this on every case.  Any numpy buffer allocated in
+#: the hot path — the smallest candidate is the n_dofs-sized bincount
+#: scratch, ~74 KB on the medium Poisson mesh — lands far above it.
+ALLOC_FLOOR_BYTES = 16384
+
+#: EMV kernels exercised per case
+KERNELS = ("einsum", "columns")
+
+
+class _NullComm:
+    """Single-rank stand-in for :class:`repro.simmpi.Communicator`.
+
+    Lets the operator stack run in-process without simulator threads, so
+    ``time.perf_counter`` around ``spmv()`` measures the genuine hot
+    path.  Collectives degenerate to identities; point-to-point must
+    never happen on one rank and raises.
+    """
+
+    rank = 0
+    size = 1
+    vtime = 0.0
+
+    def __init__(self) -> None:
+        self.obs = Instrumentation(rank=0, clock=lambda: 0.0, trace=False)
+        self.timing = self.obs
+
+    @contextmanager
+    def compute(self, label: str = "compute"):
+        w0 = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.obs.record(label, vtime=0.0, wall=time.perf_counter() - w0)
+
+    def advance(self, seconds: float, label: str = "modeled") -> None:
+        self.obs.record(label, vtime=seconds)
+
+    def allreduce(self, value, op="sum"):
+        return value
+
+    def allgather(self, value):
+        return [value]
+
+    def alltoall(self, per_dest):
+        if len(per_dest) != 1:
+            raise ValueError("single-rank alltoall needs exactly one entry")
+        return list(per_dest)
+
+    def isend(self, *a, **k):
+        raise RuntimeError("no point-to-point on a single rank")
+
+    irecv = isend
+    wait = isend
+
+
+@dataclass(frozen=True)
+class KernelCase:
+    """One problem of the kernels microbench."""
+
+    name: str
+    make_spec: Callable[[], Any]
+    n_spmv: int = 10
+    options: dict = field(default_factory=dict)
+
+
+def _poisson_medium():
+    from repro.problems import poisson_problem
+
+    # nx=20 -> 8000 HEX8 elements, 9261 dofs: big enough that the sweep
+    # dominates Python overhead, small enough for a CI job
+    return poisson_problem(20, n_parts=1)
+
+
+def _elastic_medium():
+    from repro.mesh.element import ElementType
+    from repro.problems import elastic_bar_problem
+
+    # 8x8x16 -> 1024 HEX8 elements, 24 dofs/element (ndpn=3)
+    return elastic_bar_problem((8, 8, 16), n_parts=1, etype=ElementType.HEX8)
+
+
+KERNEL_CASES: tuple[KernelCase, ...] = (
+    KernelCase(name="poisson-hex8-medium", make_spec=_poisson_medium),
+    KernelCase(name="elastic-bar-hex8-medium", make_spec=_elastic_medium),
+)
+
+
+def _build_operator(spec, kernel: str, workspace: bool):
+    from repro.core.hymv import HymvOperator
+
+    comm = _NullComm()
+    lmesh = spec.partition.local(0)
+    return HymvOperator(
+        comm, lmesh, spec.operator, kernel=kernel, workspace=workspace
+    )
+
+
+def _time_spmv(A, u, v, n_spmv: int, repeats: int) -> list[float]:
+    """Per-SPMV wall seconds, one sample per repeat."""
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(n_spmv):
+            A.spmv(u, v)
+        samples.append((time.perf_counter() - t0) / n_spmv)
+    return samples
+
+
+def _measure_alloc(A, u, v, n_spmv: int) -> int:
+    """Peak heap growth (bytes) over ``n_spmv`` post-warmup SPMVs."""
+    tracemalloc.start()
+    try:
+        A.spmv(u, v)  # warm tracemalloc's own structures on this path
+        tracemalloc.reset_peak()
+        base = tracemalloc.get_traced_memory()[0]
+        for _ in range(n_spmv):
+            A.spmv(u, v)
+        peak = tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+    return max(0, int(peak - base))
+
+
+def _phase_stats(samples: list[float]) -> dict[str, float]:
+    return {
+        "median": statistics.median(samples),
+        "min": min(samples),
+        "max": max(samples),
+        "repeats": len(samples),
+    }
+
+
+def _run_case_kernel(
+    case: KernelCase, kernel: str, repeats: int, verbose: bool
+) -> list[dict[str, Any]]:
+    spec = case.make_spec()
+    A_ref = _build_operator(spec, kernel, workspace=False)
+    A_ws = _build_operator(spec, kernel, workspace=True)
+
+    rng = np.random.default_rng(1234)
+    x = rng.standard_normal(A_ref.n_dofs_owned)
+    arrays = {}
+    for tag, A in (("reference", A_ref), ("workspace", A_ws)):
+        u, v = A.new_array(), A.new_array()
+        u.set_owned(x)
+        arrays[tag] = (u, v)
+
+    # --- bitwise identity gate (before any timing is trusted) ----------
+    y = {}
+    for tag, A in (("reference", A_ref), ("workspace", A_ws)):
+        u, v = arrays[tag]
+        A.spmv(u, v)  # warmup 1
+        A.spmv(u, v)  # warmup 2 (steady state)
+        y[tag] = v.owned_flat.copy()
+    if not np.array_equal(y["reference"], y["workspace"]):
+        diff = int(np.sum(y["reference"] != y["workspace"]))
+        raise RuntimeError(
+            f"{case.name}/{kernel}: workspace SPMV is not bitwise identical "
+            f"to the reference path ({diff} differing entries)"
+        )
+
+    rows = []
+    medians = {}
+    for tag, A in (("reference", A_ref), ("workspace", A_ws)):
+        u, v = arrays[tag]
+        samples = _time_spmv(A, u, v, case.n_spmv, repeats)
+        raw_alloc = _measure_alloc(A, u, v, case.n_spmv)
+        alloc = 0 if raw_alloc <= ALLOC_FLOOR_BYTES else raw_alloc
+        counters = dict(A.comm.obs.snapshot()["counters"])
+        counters["spmv.bytes_alloc"] = float(alloc)
+        counters["spmv.bytes_alloc_raw"] = float(raw_alloc)
+        medians[tag] = statistics.median(samples)
+        rows.append(
+            {
+                "case": case.name,
+                "method": f"hymv-{kernel}-{tag}",
+                "n_parts": 1,
+                "n_dofs": spec.n_dofs,
+                "n_spmv": case.n_spmv,
+                "phases": {"spmv.total": _phase_stats(samples)},
+                "counters": counters,
+                "bitwise_identical_to_reference": True,
+            }
+        )
+    rows[-1]["speedup_vs_reference"] = (
+        medians["reference"] / medians["workspace"]
+    )
+    if verbose:
+        print(
+            f"[bench]   {kernel:>7}: ref {medians['reference'] * 1e3:.3f} ms, "
+            f"workspace {medians['workspace'] * 1e3:.3f} ms "
+            f"({rows[-1]['speedup_vs_reference']:.2f}x, "
+            f"alloc {rows[-1]['counters']['spmv.bytes_alloc_raw']:.0f} B raw)"
+        )
+    return rows
+
+
+def run_kernels_suite(
+    repeats: int = 5,
+    cases: tuple[KernelCase, ...] = KERNEL_CASES,
+    verbose: bool = True,
+) -> dict[str, Any]:
+    """Run the kernels matrix; returns a validated bench document."""
+    doc = new_bench_doc(
+        suite="kernels",
+        repeats=repeats,
+        config={
+            "kernels": list(KERNELS),
+            "cases": [c.name for c in cases],
+            "alloc_floor_bytes": ALLOC_FLOOR_BYTES,
+            "measured": True,  # real wall clock — gate ratios, not medians
+        },
+    )
+    for case in cases:
+        if verbose:
+            print(f"[bench] {case.name} ...", flush=True)
+        for kernel in KERNELS:
+            doc["results"].extend(
+                _run_case_kernel(case, kernel, repeats, verbose)
+            )
+    return validate_bench_doc(doc)

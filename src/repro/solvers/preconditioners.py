@@ -26,8 +26,11 @@ __all__ = [
 class IdentityPreconditioner:
     """No preconditioning."""
 
-    def __call__(self, r: np.ndarray) -> np.ndarray:
-        return r.copy()
+    def __call__(self, r: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        if out is None:
+            return r.copy()
+        np.copyto(out, r)
+        return out
 
     setup_flops = 0.0
     apply_flops = 0.0
@@ -46,8 +49,11 @@ class JacobiPreconditioner:
         self.setup_flops = float(diagonal.size)
         self.apply_flops = float(diagonal.size)
 
-    def __call__(self, r: np.ndarray) -> np.ndarray:
-        return r * self._inv
+    def __call__(self, r: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        if out is None:
+            return r * self._inv
+        np.multiply(r, self._inv, out=out)
+        return out
 
 
 class BlockJacobiPreconditioner:

@@ -31,6 +31,16 @@ def scatter_add(out: np.ndarray, idx: np.ndarray, vals: np.ndarray) -> np.ndarra
     duplicated index sets produced by element-vector accumulation (each mesh
     node is shared by up to 8 hexes / ~24 tets).
 
+    Small batches (``idx.size < out.size // 8`` — adaptive
+    ``update_elements``-style accumulations, tiny dependent sweeps) fall
+    back to ``np.add.at``: a bincount would still pay the full
+    ``O(n_dofs)`` scratch allocation and final add for a handful of
+    touched entries.
+
+    For sweeps whose index structure repeats across calls, prefer
+    :class:`repro.core.segment.SegmentScatter`, which precomputes the
+    reduction once and accumulates allocation-free.
+
     Parameters
     ----------
     out:
@@ -46,7 +56,10 @@ def scatter_add(out: np.ndarray, idx: np.ndarray, vals: np.ndarray) -> np.ndarra
         raise ValueError(
             f"index/value size mismatch: {flat_idx.size} vs {flat_vals.size}"
         )
-    out += np.bincount(flat_idx, weights=flat_vals, minlength=out.shape[0])
+    if flat_idx.size < out.shape[0] // 8:
+        np.add.at(out, flat_idx, flat_vals)
+    else:
+        out += np.bincount(flat_idx, weights=flat_vals, minlength=out.shape[0])
     return out
 
 

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 
 from repro.core.kernels import (
     EMV_KERNELS,
+    EmvWorkspace,
     accumulate_element_vectors,
     emv_columns,
     emv_einsum,
@@ -53,6 +54,59 @@ def test_gather_with_subset(rng):
     np.testing.assert_array_equal(
         gather_element_vectors(flat, idx, sel), flat[idx[sel]]
     )
+
+
+@given(
+    e=st.integers(min_value=1, max_value=20),
+    nd=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=50),
+)
+@settings(max_examples=15)
+def test_out_forms_bitwise_match_allocating_forms(e, nd, seed):
+    """The zero-allocation ``out=`` paths must not change a single bit
+    relative to the legacy allocating paths (the SPMV equivalence suite
+    relies on this at operator level; here it is pinned per kernel)."""
+    rng = np.random.default_rng(seed)
+    ke = rng.standard_normal((e, nd, nd))
+    ue = rng.standard_normal((e, nd))
+    ws = EmvWorkspace(e, nd)
+
+    y = emv_einsum(ke, ue)
+    assert emv_einsum(ke, ue, out=ws.ve) is ws.ve
+    np.testing.assert_array_equal(ws.ve, y)
+
+    y = emv_columns(ke, ue)
+    out = np.empty((e, nd))
+    np.testing.assert_array_equal(emv_columns(ke, ue, out=out), y)
+    # with the per-column scratch (the true hot-path form)
+    ws.ve.fill(np.nan)
+    emv_columns(ke, ue, out=ws.ve, tmp=ws.tmp)
+    np.testing.assert_array_equal(ws.ve, y)
+    # with the precomputed column-major matrix layout
+    kcol = np.ascontiguousarray(ke.transpose(2, 0, 1))
+    ws.ve.fill(np.nan)
+    emv_columns(ke, ue, out=ws.ve, tmp=ws.tmp, columns=kcol)
+    np.testing.assert_array_equal(ws.ve, y)
+
+
+def test_workspace_views_alias_storage():
+    ws = EmvWorkspace(10, 6)
+    ue, ve = ws.views(4)
+    assert ue.shape == (4, 6) and ve.shape == (4, 6)
+    assert ue.base is ws.ue and ve.base is ws.ve
+    assert not ue.flags.owndata  # views, not copies
+    # tmp is lazy: only the columns kernel should ever materialise it
+    assert ws._tmp is None
+    assert ws.tmp.shape == (10, 6)
+    assert ws._tmp is not None
+
+
+def test_gather_out_bitwise_matches_fancy_indexing(rng):
+    flat = rng.standard_normal(50)
+    idx = rng.integers(0, 50, size=(7, 6))
+    out = np.empty((7, 6))
+    assert gather_element_vectors(flat, idx, out=out) is out
+    np.testing.assert_array_equal(out, flat[idx])
 
 
 def test_as_scipy_operator_interop():
