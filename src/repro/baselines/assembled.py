@@ -127,9 +127,14 @@ class AssembledOperator:
     def new_array(self) -> DistributedArray:
         return DistributedArray(self.maps, self.ndpn)
 
-    def apply_owned(self, x: np.ndarray) -> np.ndarray:
+    def apply_owned(self, x: np.ndarray, copy: bool = True) -> np.ndarray:
         """``y = A x`` on owned dofs; halo exchange overlapped with the
-        diagonal-block product (PETSc's MatMult structure)."""
+        diagonal-block product (PETSc's MatMult structure).
+
+        The CSR product allocates a fresh result either way, so the
+        ``copy`` flag (kept for signature parity with
+        :meth:`repro.core.hymv.EbeOperatorBase.apply_owned`) is a
+        no-op: the returned array is always caller-owned."""
         comm = self.comm
         t0 = comm.vtime
         if not hasattr(self, "_work_u"):

@@ -85,6 +85,18 @@ class EbeOperatorBase:
             self._inv_order = inverse_permutation(self._order)
             self._n_indep = int(self.maps.independent.size)
             self.e2l_dofs = self._dof_map(self.maps.e2l[self._order])
+            # one-time bounds check: the hot path gathers/scatters with
+            # mode="clip", which would turn an out-of-range map entry
+            # into silently wrong numerics instead of an IndexError
+            if self.e2l_dofs.size:
+                lo = int(self.e2l_dofs.min())
+                hi = int(self.e2l_dofs.max())
+                n_total_dofs = self.maps.n_total * self.ndpn
+                if lo < 0 or hi >= n_total_dofs:
+                    raise IndexError(
+                        f"E2L dof map out of range: [{lo}, {hi}] vs "
+                        f"{n_total_dofs} local dofs"
+                    )
             self._e2g_perm = lmesh.e2g[self._order]
             self._coords_perm = lmesh.coords[self._order]
 
@@ -281,22 +293,25 @@ class EbeOperatorBase:
         """Solver-facing alias of :meth:`spmv` (MatShell interface)."""
         return self.spmv(u, v)
 
-    def apply_owned(self, x: np.ndarray) -> np.ndarray:
+    def apply_owned(self, x: np.ndarray, copy: bool = True) -> np.ndarray:
         """MatShell-style application on owned dof vectors (what the CG
-        solver calls); halo handling is internal.
+        solver calls); halo handling is internal.  The distributed
+        product lands in work arrays preallocated on first use.
 
-        **Aliasing contract:** the returned array is a *view* into a
-        work buffer owned by the operator and is overwritten by the next
-        ``apply_owned``/``spmv`` call.  Callers that keep the result
-        across applications must copy it (the CG solver consumes it
-        immediately; :func:`as_scipy_operator` copies on behalf of
-        scipy's solvers)."""
+        **Aliasing contract:** by default the result is returned as a
+        fresh copy the caller owns — two products held simultaneously
+        stay distinct, and mutating one (e.g. masking Dirichlet rows)
+        never touches operator state.  ``copy=False`` instead returns a
+        *view* into the operator-owned work buffer, overwritten by the
+        next ``apply_owned``/``spmv`` call: zero-copy for hot loops that
+        consume the result immediately and must not mutate it."""
         if not hasattr(self, "_work_u"):
             self._work_u = self.new_array()
             self._work_v = self.new_array()
         self._work_u.set_owned(x)
         self.spmv(self._work_u, self._work_v)
-        return self._work_v.owned_flat
+        owned = self._work_v.owned_flat
+        return np.array(owned, copy=True) if copy else owned
 
     # -- preconditioner support (shared: HYMV loads stored matrices,
     #    matrix-free recomputes once) --------------------------------------
@@ -499,14 +514,15 @@ def as_scipy_operator(op) -> "object":
     distributed operator directly on a single rank, or a rank-local block
     in tests — handy for interop and for cross-checking our own CG.
 
-    ``apply_owned`` returns a view into the operator's work buffer;
-    scipy solvers keep matvec results across calls, so copy here.
+    scipy solvers keep matvec results across calls; ``apply_owned``'s
+    default already returns a caller-owned copy, which is exactly the
+    contract they need.
     """
     from scipy.sparse.linalg import LinearOperator
 
     n = op.n_dofs_owned
 
     def matvec(x: np.ndarray) -> np.ndarray:
-        return np.array(op.apply_owned(x), copy=True)
+        return op.apply_owned(x)
 
     return LinearOperator((n, n), matvec=matvec, rmatvec=matvec)

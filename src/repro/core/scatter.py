@@ -147,6 +147,7 @@ class HaloExchange:
         "send_offsets",
         "recv_all",
         "recv_offsets",
+        "_max_slot",
         "_sbuf",
         "_gbuf",
         "_acc",
@@ -168,6 +169,16 @@ class HaloExchange:
 
         self.send_all, self.send_offsets = _concat(cmaps.send_slots)
         self.recv_all, self.recv_offsets = _concat(cmaps.recv_slots)
+        # the packs below use mode="clip"; validate the frozen slot maps
+        # once here and the data length once per exchange, so a corrupt
+        # map raises instead of silently clipping to wrong slots
+        for name, flat in (("send", self.send_all), ("recv", self.recv_all)):
+            if flat.size and int(flat.min()) < 0:
+                raise IndexError(f"HaloExchange: negative {name} slot")
+        self._max_slot = max(
+            int(self.send_all.max()) if self.send_all.size else -1,
+            int(self.recv_all.max()) if self.recv_all.size else -1,
+        )
         self._sbuf = np.empty((self.send_all.size, self.ndpn))
         self._gbuf = np.empty((self.recv_all.size, self.ndpn))
         self._acc = np.empty((self.send_all.size, self.ndpn))
@@ -176,6 +187,11 @@ class HaloExchange:
 
     def scatter_begin(self, comm: Communicator, data: np.ndarray) -> list[Request]:
         """Pack all owned send values and post the ghost-fill exchange."""
+        if self._max_slot >= data.shape[0]:
+            raise IndexError(
+                f"HaloExchange: data has {data.shape[0]} slots, "
+                f"map references slot {self._max_slot}"
+            )
         if self.send_all.size:
             np.take(data, self.send_all, axis=0, out=self._sbuf, mode="clip")
         off = self.send_offsets
@@ -196,6 +212,11 @@ class HaloExchange:
 
     def gather_begin(self, comm: Communicator, data: np.ndarray) -> list[Request]:
         """Pack all ghost partial sums and post the reverse exchange."""
+        if self._max_slot >= data.shape[0]:
+            raise IndexError(
+                f"HaloExchange: data has {data.shape[0]} slots, "
+                f"map references slot {self._max_slot}"
+            )
         if self.recv_all.size:
             np.take(data, self.recv_all, axis=0, out=self._gbuf, mode="clip")
         off = self.recv_offsets

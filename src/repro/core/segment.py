@@ -99,6 +99,11 @@ class SegmentScatter:
         # stable sort keeps each dof's duplicates in occurrence order
         perm = np.argsort(flat, kind="stable")
         sorted_dofs = flat[perm]
+        if sorted_dofs[0] < 0:
+            raise IndexError(
+                f"SegmentScatter: negative dof index {int(sorted_dofs[0])} "
+                "in the scatter map"
+            )
         starts = np.flatnonzero(np.diff(sorted_dofs)) + 1
         self.touched = sorted_dofs[np.concatenate([[0], starts])]
         k = self.touched.size
@@ -140,6 +145,14 @@ class SegmentScatter:
         if flat_vals.size != self.m:
             raise ValueError(
                 f"value size mismatch: got {flat_vals.size}, expected {self.m}"
+            )
+        # one comparison guards every clipped access below: ``touched``
+        # is sorted and non-negative (checked at construction), so an
+        # in-range maximum makes mode="clip" unable to mask a bad index
+        if self.touched[-1] >= out.shape[0]:
+            raise IndexError(
+                f"SegmentScatter: destination too small (max touched dof "
+                f"{int(self.touched[-1])}, out has {out.shape[0]} entries)"
             )
         self._seg.fill(0.0)
         if self._use_csr:

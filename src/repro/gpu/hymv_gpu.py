@@ -251,7 +251,9 @@ class AssembledGpuOperator(AssembledOperator):
             "setup.csr_h2d",
         )
 
-    def apply_owned(self, x: np.ndarray) -> np.ndarray:
+    def apply_owned(self, x: np.ndarray, copy: bool = True) -> np.ndarray:
+        # ``copy`` is a no-op (the CSR product is freshly allocated);
+        # kept for signature parity with the EBE operators
         comm = self.comm
         t0 = comm.vtime
         if not hasattr(self, "_work_u"):

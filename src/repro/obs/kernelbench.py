@@ -7,8 +7,10 @@ zero-allocation workspace path, for both EMV kernels.  Three properties
 are machine-checked per (case, kernel):
 
 * **speed** — wall-clock per SPMV, medians over repeats; workspace rows
-  carry ``speedup_vs_reference`` (a same-machine ratio, so it *is*
-  portable across hosts, unlike the raw wall medians);
+  carry ``speedup_vs_reference``, a same-machine *best-of-repeats*
+  (min/min) ratio — portable across hosts unlike the raw wall medians,
+  and robust to noisy-neighbor contention on shared CI runners, which
+  only ever inflates samples;
 * **bitwise identity** — the workspace product must equal the reference
   product bit for bit, asserted in-process before any timing is trusted;
 * **zero allocation** — ``tracemalloc`` bounds the peak heap growth over
@@ -200,6 +202,7 @@ def _run_case_kernel(
 
     rows = []
     medians = {}
+    best = {}
     for tag, A in (("reference", A_ref), ("workspace", A_ws)):
         u, v = arrays[tag]
         samples = _time_spmv(A, u, v, case.n_spmv, repeats)
@@ -209,6 +212,7 @@ def _run_case_kernel(
         counters["spmv.bytes_alloc"] = float(alloc)
         counters["spmv.bytes_alloc_raw"] = float(raw_alloc)
         medians[tag] = statistics.median(samples)
+        best[tag] = min(samples)
         rows.append(
             {
                 "case": case.name,
@@ -221,14 +225,16 @@ def _run_case_kernel(
                 "bitwise_identical_to_reference": True,
             }
         )
-    rows[-1]["speedup_vs_reference"] = (
-        medians["reference"] / medians["workspace"]
-    )
+    # best-of-repeats ratio, not median: noisy neighbors on shared CI
+    # runners only ever *inflate* a sample, so the min of each side is
+    # the least-contaminated estimate and their ratio is far more stable
+    # than a median ratio under intermittent contention
+    rows[-1]["speedup_vs_reference"] = best["reference"] / best["workspace"]
     if verbose:
         print(
-            f"[bench]   {kernel:>7}: ref {medians['reference'] * 1e3:.3f} ms, "
-            f"workspace {medians['workspace'] * 1e3:.3f} ms "
-            f"({rows[-1]['speedup_vs_reference']:.2f}x, "
+            f"[bench]   {kernel:>7}: ref {best['reference'] * 1e3:.3f} ms, "
+            f"workspace {best['workspace'] * 1e3:.3f} ms best-of-"
+            f"{repeats} ({rows[-1]['speedup_vs_reference']:.2f}x, "
             f"alloc {rows[-1]['counters']['spmv.bytes_alloc_raw']:.0f} B raw)"
         )
     return rows

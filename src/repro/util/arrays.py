@@ -26,20 +26,28 @@ def as_index(a) -> np.ndarray:
 def scatter_add(out: np.ndarray, idx: np.ndarray, vals: np.ndarray) -> np.ndarray:
     """Accumulate ``vals`` into ``out`` at (possibly repeated) indices ``idx``.
 
-    Equivalent to ``np.add.at(out, idx, vals)`` but implemented with
-    ``np.bincount`` which is substantially faster for the large, highly
-    duplicated index sets produced by element-vector accumulation (each mesh
-    node is shared by up to 8 hexes / ~24 tets).
+    Equivalent to ``np.add.at(out, idx, vals)`` up to summation order,
+    but implemented with ``np.bincount`` which is substantially faster
+    for the large, highly duplicated index sets produced by
+    element-vector accumulation (each mesh node is shared by up to 8
+    hexes / ~24 tets).
 
     Small batches (``idx.size < out.size // 8`` — adaptive
-    ``update_elements``-style accumulations, tiny dependent sweeps) fall
-    back to ``np.add.at``: a bincount would still pay the full
-    ``O(n_dofs)`` scratch allocation and final add for a handful of
-    touched entries.
+    ``update_elements``-style accumulations, thin dependent sweeps)
+    skip the ``O(n_dofs)`` bincount scratch and reduce over the touched
+    range only.  **Grouping contract:** both branches produce the exact
+    bits of the legacy ``out += np.bincount(...)`` path on every touched
+    entry — duplicates are folded into a per-dof total sequentially in
+    occurrence order starting from 0.0, and each total is added to
+    ``out`` with a single rounding — even when ``out`` is already
+    nonzero (the dependent sweep accumulates onto the independent
+    sweep's partial result).  The only divergence is that the small
+    branch never writes untouched entries, while the bincount branch
+    adds ``+0.0`` to them (observable only on ``-0.0``).
 
     For sweeps whose index structure repeats across calls, prefer
     :class:`repro.core.segment.SegmentScatter`, which precomputes the
-    reduction once and accumulates allocation-free.
+    reduction once and accumulates allocation-free (same grouping).
 
     Parameters
     ----------
@@ -56,8 +64,21 @@ def scatter_add(out: np.ndarray, idx: np.ndarray, vals: np.ndarray) -> np.ndarra
         raise ValueError(
             f"index/value size mismatch: {flat_idx.size} vs {flat_vals.size}"
         )
-    if flat_idx.size < out.shape[0] // 8:
-        np.add.at(out, flat_idx, flat_vals)
+    if flat_idx.size and flat_idx.size < out.shape[0] // 8:
+        # A bare np.add.at(out, ...) would fold every duplicate into
+        # ``out`` sequentially — different rounding than the bincount
+        # grouping once ``out`` is nonzero.  Reduce each dof's
+        # duplicates into a zeroed per-group scratch first (np.add.at
+        # over compacted group ids accumulates in occurrence order from
+        # 0.0, exactly like bincount), then add the totals with one
+        # rounding per touched dof.
+        touched, group = np.unique(flat_idx, return_inverse=True)
+        if touched[0] < 0:
+            # mirror bincount, which rejects negative indices
+            raise ValueError("scatter_add: negative index")
+        sums = np.zeros(touched.size)
+        np.add.at(sums, group, flat_vals)
+        out[touched] += sums
     else:
         out += np.bincount(flat_idx, weights=flat_vals, minlength=out.shape[0])
     return out

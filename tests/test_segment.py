@@ -113,6 +113,21 @@ def test_value_size_mismatch_raises():
         seg.add_into(np.zeros(3), np.zeros(5))
 
 
+def test_negative_index_raises_at_construction():
+    # mode="clip" in the hot path must never mask a corrupt map: bad
+    # indices are rejected where they are frozen, not silently clipped
+    with pytest.raises(IndexError, match="negative dof index"):
+        SegmentScatter(np.array([[0, 1], [-3, 2]]))
+
+
+def test_out_of_range_destination_raises():
+    seg = SegmentScatter(np.array([[0, 5], [5, 2]]))
+    with pytest.raises(IndexError, match="destination too small"):
+        seg.add_into(np.zeros(5), np.ones(4))
+    # exactly large enough is fine
+    seg.add_into(np.zeros(6), np.ones(4))
+
+
 def test_add_into_is_allocation_free_after_construction():
     import tracemalloc
 

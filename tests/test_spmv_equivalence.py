@@ -208,10 +208,16 @@ def test_repeated_spmv_is_idempotent_on_inputs():
 
     def prog(comm, lmesh, xo):
         A = HymvOperator(comm, lmesh, op)
-        # apply_owned returns a view into the operator's work buffer
-        # (overwritten by the next application) — copy to compare calls
-        y1 = A.apply_owned(xo).copy()
-        y2 = A.apply_owned(xo).copy()
+        # default contract: each call returns a fresh caller-owned copy,
+        # so holding two products simultaneously is safe...
+        y1 = A.apply_owned(xo)
+        y2 = A.apply_owned(xo)
+        assert y1 is not y2 and y1.base is None
+        # ...while copy=False returns a view into the operator's work
+        # buffer, overwritten by the next application (zero-copy opt-in)
+        v1 = A.apply_owned(xo, copy=False)
+        assert v1.base is not None
+        assert np.array_equal(v1, y1)
         return np.abs(y1 - y2).max()
 
     args = [

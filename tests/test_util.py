@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.mesh import ElementType, box_hex_mesh, box_tet_mesh
@@ -33,6 +33,51 @@ def test_scatter_add_matches_np_add_at(rng):
 def test_scatter_add_size_mismatch():
     with pytest.raises(ValueError):
         scatter_add(np.zeros(5), np.array([0, 1]), np.array([1.0]))
+
+
+def test_scatter_add_rejects_negative_indices():
+    # both branches must reject a corrupt map (bincount does natively)
+    with pytest.raises(ValueError):
+        scatter_add(np.zeros(200), np.array([3, -1]), np.array([1.0, 2.0]))
+    with pytest.raises(ValueError):
+        scatter_add(np.zeros(4), np.array([0, -1]), np.array([1.0, 2.0]))
+
+
+@given(
+    n_dofs=st.integers(min_value=16, max_value=400),
+    n_vals=st.integers(min_value=1, max_value=30),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=50)
+def test_scatter_add_small_batch_bitwise_matches_bincount_grouping(
+    n_dofs, n_vals, seed
+):
+    """The small-batch branch must produce the exact bits of the legacy
+    ``out += np.bincount(...)`` path on a *nonzero* destination — the
+    dependent sweep accumulates onto the independent sweep's partial
+    result, so a sequential add.at fold (different rounding) would
+    silently change legacy results on large meshes."""
+    rng = np.random.default_rng(seed)
+    # duplicate-heavy indices confined to a small range: every touched
+    # dof is hit repeatedly while n_vals stays below n_dofs // 8
+    idx = rng.integers(0, max(1, n_dofs // 16), size=n_vals)
+    vals = rng.standard_normal(n_vals)
+    base = rng.standard_normal(n_dofs)
+
+    out = base.copy()
+    scatter_add(out, idx, vals)
+    expect = base + np.bincount(idx, weights=vals, minlength=n_dofs)
+
+    touched = np.unique(idx)
+    np.testing.assert_array_equal(out[touched], expect[touched])
+    # untouched entries are left alone (bincount's +0.0 on them differs
+    # only on -0.0, which standard_normal never produces)
+    mask = np.ones(n_dofs, dtype=bool)
+    mask[touched] = False
+    np.testing.assert_array_equal(out[mask], base[mask])
+
+    if n_vals < n_dofs // 8:  # the regime this test is about
+        assert touched.size <= n_vals
 
 
 @given(st.permutations(list(range(9))))
