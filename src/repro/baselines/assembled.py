@@ -159,6 +159,23 @@ class AssembledOperator:
         self.spmv_count += 1
         return y
 
+    def apply_owned_multi(self, X: np.ndarray, copy: bool = True) -> np.ndarray:
+        """Multi-RHS application: one :meth:`apply_owned` per column.
+
+        The CSR baseline has no packed multi-column halo exchange — each
+        column pays its own message round, which is exactly the latency
+        the HYMV serve path amortizes away.  Kept as the trivially
+        bitwise-per-column reference (signature parity with
+        :meth:`repro.core.hymv.EbeOperatorBase.apply_owned_multi`).
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"expected (n, k) multivector, got shape {X.shape}")
+        Y = np.empty_like(X)
+        for j in range(X.shape[1]):
+            Y[:, j] = self.apply_owned(np.ascontiguousarray(X[:, j]), copy=False)
+        return Y
+
     # ------------------------------------------------------------------
     # preconditioner support / accounting
     # ------------------------------------------------------------------

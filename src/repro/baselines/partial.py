@@ -77,12 +77,10 @@ class PartialAssemblyOperator(EbeOperatorBase):
 
     # ------------------------------------------------------------------
 
-    def _emv_sweep(self, u, v, sl) -> None:
+    def _emv_sweep(self, uf, vf, sl) -> None:
         idx = self.e2l_dofs[sl]
         if idx.shape[0] == 0:
             return
-        uf = u.data.reshape(-1)
-        vf = v.data.reshape(-1)
         if self._ws is not None:
             from repro.core.kernels import gather_element_vectors
 

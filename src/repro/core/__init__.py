@@ -15,7 +15,7 @@
 * :mod:`repro.core.flops` — flop/byte counters feeding Table I and Fig. 10.
 """
 
-from repro.core.da import DistributedArray
+from repro.core.da import DistributedArray, DistributedMultiVector
 from repro.core.hymv import HymvOperator
 from repro.core.maps import NodeMaps, build_node_maps
 from repro.core.scatter import (
@@ -37,5 +37,6 @@ __all__ = [
     "gather_begin",
     "gather_end",
     "DistributedArray",
+    "DistributedMultiVector",
     "HymvOperator",
 ]

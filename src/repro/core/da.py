@@ -4,6 +4,13 @@ Data is stored per node as ``(n_total_nodes, ndpn)`` in the
 ``[pre-ghost | owned | post-ghost]`` layout, so ghost exchange operates on
 contiguous node rows, and the solver sees the owned block as a flat dof
 vector.
+
+:class:`DistributedMultiVector` is the ``k``-column generalization used by
+the multi-RHS SPMV/solve paths (``repro.serve`` micro-batching): the same
+node layout with a trailing column axis, exposing the two views the
+batched hot path needs — node rows of width ``ndpn * k`` for a *single*
+packed halo exchange covering all columns, and a flat ``(n_dofs, k)``
+dof matrix whose strided columns feed the per-column element sweeps.
 """
 
 from __future__ import annotations
@@ -14,7 +21,7 @@ from repro.core.maps import NodeMaps
 from repro.core.scatter import CommMaps, gather, scatter
 from repro.simmpi.communicator import Communicator
 
-__all__ = ["DistributedArray"]
+__all__ = ["DistributedArray", "DistributedMultiVector"]
 
 
 class DistributedArray:
@@ -98,3 +105,75 @@ class DistributedArray:
     def norm_inf(self, comm: Communicator) -> float:
         local = float(np.abs(self.owned_flat).max()) if self.owned_flat.size else 0.0
         return float(comm.allreduce(local, op="max"))
+
+
+class DistributedMultiVector:
+    """``k`` nodal vectors distributed across ranks, stored as one block.
+
+    Storage is ``(n_total, ndpn, k)`` C-contiguous, i.e. each node row
+    packs all ``ndpn * k`` scalars of that node contiguously.  That makes
+    a multi-RHS ghost exchange a *single* halo exchange of node rows of
+    width ``ndpn * k`` (column values interleaved per dof), amortizing
+    per-message latency across all ``k`` right-hand sides, while
+    ``dof_view[:, j]`` recovers column ``j`` as a strided flat dof vector
+    with exactly the values a :class:`DistributedArray` would hold.
+    """
+
+    __slots__ = ("data", "maps", "ndpn", "k")
+
+    def __init__(
+        self,
+        maps: NodeMaps,
+        ndpn: int = 1,
+        k: int = 1,
+        data: np.ndarray | None = None,
+    ):
+        if k < 1:
+            raise ValueError(f"need at least one column, got k={k}")
+        self.maps = maps
+        self.ndpn = int(ndpn)
+        self.k = int(k)
+        if data is None:
+            data = np.zeros((maps.n_total, ndpn, k))
+        else:
+            data = np.ascontiguousarray(data, dtype=np.float64).reshape(
+                maps.n_total, ndpn, k
+            )
+        self.data = data
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+
+    @property
+    def node_view(self) -> np.ndarray:
+        """``(n_total, ndpn * k)`` view: packed node rows for one halo
+        exchange covering all columns (shares memory)."""
+        return self.data.reshape(self.maps.n_total, self.ndpn * self.k)
+
+    @property
+    def dof_view(self) -> np.ndarray:
+        """``(n_total * ndpn, k)`` view: flat local dofs by column; column
+        ``j`` is a strided 1-D view bit-compatible with the flat data of a
+        single :class:`DistributedArray` (shares memory)."""
+        return self.data.reshape(self.maps.n_total * self.ndpn, self.k)
+
+    @property
+    def owned(self) -> np.ndarray:
+        """``(n_owned, ndpn, k)`` view of the owned block."""
+        return self.data[self.maps.owned_slice]
+
+    @property
+    def owned_matrix(self) -> np.ndarray:
+        """``(n_owned * ndpn, k)`` view of the owned dofs by column."""
+        return self.owned.reshape(self.maps.n_owned * self.ndpn, self.k)
+
+    def zero(self) -> "DistributedMultiVector":
+        self.data[:] = 0.0
+        return self
+
+    def set_owned(self, values: np.ndarray) -> "DistributedMultiVector":
+        self.owned_matrix[:] = np.asarray(values, dtype=np.float64).reshape(
+            self.maps.n_owned * self.ndpn, self.k
+        )
+        return self

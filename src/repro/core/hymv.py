@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.da import DistributedArray
+from repro.core.da import DistributedArray, DistributedMultiVector
 from repro.core.kernels import (
     EMV_KERNELS,
     EmvWorkspace,
@@ -142,6 +142,11 @@ class EbeOperatorBase:
                 self.halo = HaloExchange(self.cmaps, self.ndpn)
                 self._seg_indep = SegmentScatter(self.e2l_dofs[self._sl_indep])
                 self._seg_dep = SegmentScatter(self.e2l_dofs[self._sl_dep])
+        # multi-RHS machinery, built lazily per column count k: one packed
+        # halo exchange of node-row width ndpn*k serves all k columns, and
+        # work multivectors back apply_owned_multi (mirrors _work_u/_work_v)
+        self._halo_multi: dict[int, HaloExchange] = {}
+        self._work_multi: dict[int, tuple] = {}
 
     # -- construction helpers -------------------------------------------
 
@@ -181,15 +186,18 @@ class EbeOperatorBase:
         ``columns`` kernel (operators with stored matrices override)."""
         return None
 
-    def _emv_sweep(
-        self, u: DistributedArray, v: DistributedArray, sl: slice
-    ) -> None:
+    def _emv_sweep(self, uf: np.ndarray, vf: np.ndarray, sl: slice) -> None:
+        """One elemental sweep over flat local dof vectors.
+
+        ``uf``/``vf`` are 1-D views of length ``n_total * ndpn`` and may
+        be strided (multi-RHS columns); the gathered/accumulated values
+        are identical either way, so the multivector path inherits the
+        single-RHS bits column by column.
+        """
         idx = self.e2l_dofs[sl]
         if idx.shape[0] == 0:
             return
         ke = self._element_matrices(sl)
-        uf = u.data.reshape(-1)
-        vf = v.data.reshape(-1)
         if self._ws is not None:
             ue, ve = self._ws.views(idx.shape[0])
             gather_element_vectors(uf, idx, out=ue)
@@ -217,7 +225,7 @@ class EbeOperatorBase:
                 flops / (self.modeled_rate_gflops * 1e9), "spmv.emv.modeled"
             )
 
-    def _verify_ghosts(self, u: DistributedArray) -> None:
+    def _verify_ghosts(self, u: DistributedArray | DistributedMultiVector) -> None:
         """Flag non-finite received ghost values (fault-injection runs
         only): raises the ``spmv.ghost_nonfinite`` counter that the
         resilient CG treats as a local corruption signal.
@@ -250,13 +258,15 @@ class EbeOperatorBase:
         halo = self.halo
         t0 = comm.vtime
         v.data[:] = 0.0
+        uf = u.data.reshape(-1)
+        vf = v.data.reshape(-1)
         if overlap:
             if halo is not None:
                 reqs = halo.scatter_begin(comm, u.data)
             else:
                 reqs = scatter_begin(comm, u.data, self.cmaps)
             with comm.compute("spmv.emv.independent"):
-                self._emv_sweep(u, v, self._sl_indep)
+                self._emv_sweep(uf, vf, self._sl_indep)
             tw = comm.vtime
             if halo is not None:
                 halo.scatter_end(comm, u.data, reqs)
@@ -266,7 +276,7 @@ class EbeOperatorBase:
             if self._check_ghosts:
                 self._verify_ghosts(u)
             with comm.compute("spmv.emv.dependent"):
-                self._emv_sweep(u, v, self._sl_dep)
+                self._emv_sweep(uf, vf, self._sl_dep)
         else:
             tw = comm.vtime
             if halo is not None:
@@ -277,7 +287,7 @@ class EbeOperatorBase:
             if self._check_ghosts:
                 self._verify_ghosts(u)
             with comm.compute("spmv.emv.all"):
-                self._emv_sweep(u, v, self._sl_all)
+                self._emv_sweep(uf, vf, self._sl_all)
         tg = comm.vtime
         if halo is not None:
             halo.gather_end(comm, v.data, halo.gather_begin(comm, v.data))
@@ -311,6 +321,117 @@ class EbeOperatorBase:
         self._work_u.set_owned(x)
         self.spmv(self._work_u, self._work_v)
         owned = self._work_v.owned_flat
+        return np.array(owned, copy=True) if copy else owned
+
+    # -- multi-RHS (matrix-multivector) path ------------------------------
+
+    def new_multivector(self, k: int) -> DistributedMultiVector:
+        return DistributedMultiVector(self.maps, self.ndpn, k)
+
+    def _halo_for(self, k: int) -> HaloExchange | None:
+        """Packed halo exchange for node rows of width ``ndpn * k``
+        (built once per distinct column count, like ``halo`` for k=1)."""
+        if k == 1:
+            return self.halo
+        if not self.workspace_enabled:
+            return None
+        h = self._halo_multi.get(k)
+        if h is None:
+            h = self._halo_multi[k] = HaloExchange(self.cmaps, self.ndpn * k)
+        return h
+
+    def spmv_multi(
+        self,
+        u: DistributedMultiVector,
+        v: DistributedMultiVector,
+        overlap: bool = True,
+    ) -> DistributedMultiVector:
+        """Batched multi-RHS SPMV ``V = K U`` (Algorithm 2 over ``k``
+        right-hand sides at once).
+
+        Column ``j`` of the result is **bitwise identical** to
+        ``spmv`` applied to column ``j`` alone: each column runs through
+        the exact single-RHS elemental sweep (same workspace, same
+        kernels, same accumulation order).  The batching win is in the
+        communication layer — ONE ghost exchange of packed ``ndpn * k``
+        node rows replaces ``k`` exchanges, amortizing per-message
+        latency across the batch (the multivector analogue of the
+        paper's batched-EMV rationale; per-scalar ghost copies and
+        accumulations are independent, so packing cannot change bits).
+        """
+        comm = self.comm
+        k = u.k
+        halo = self._halo_for(k)
+        t0 = comm.vtime
+        v.data[:] = 0.0
+        un, vn = u.node_view, v.node_view
+        uf, vf = u.dof_view, v.dof_view
+        if overlap:
+            if halo is not None:
+                reqs = halo.scatter_begin(comm, un)
+            else:
+                reqs = scatter_begin(comm, un, self.cmaps)
+            with comm.compute("spmv.emv.independent"):
+                for j in range(k):
+                    self._emv_sweep(uf[:, j], vf[:, j], self._sl_indep)
+            tw = comm.vtime
+            if halo is not None:
+                halo.scatter_end(comm, un, reqs)
+            else:
+                scatter_end(comm, un, self.cmaps, reqs)
+            comm.timing.add("spmv.scatter.wait", comm.vtime - tw)
+            if self._check_ghosts:
+                self._verify_ghosts(u)
+            with comm.compute("spmv.emv.dependent"):
+                for j in range(k):
+                    self._emv_sweep(uf[:, j], vf[:, j], self._sl_dep)
+        else:
+            tw = comm.vtime
+            if halo is not None:
+                halo.scatter(comm, un)
+            else:
+                scatter(comm, un, self.cmaps)
+            comm.timing.add("spmv.scatter.wait", comm.vtime - tw)
+            if self._check_ghosts:
+                self._verify_ghosts(u)
+            with comm.compute("spmv.emv.all"):
+                for j in range(k):
+                    self._emv_sweep(uf[:, j], vf[:, j], self._sl_all)
+        tg = comm.vtime
+        if halo is not None:
+            halo.gather_end(comm, vn, halo.gather_begin(comm, vn))
+        else:
+            greqs = gather_begin(comm, vn, self.cmaps)
+            gather_end(comm, vn, self.cmaps, greqs)
+        comm.timing.add("spmv.gather", comm.vtime - tg)
+        comm.timing.add("spmv.total", comm.vtime - t0)
+        self.spmv_count += k
+        return v
+
+    def apply_owned_multi(self, X: np.ndarray, copy: bool = True) -> np.ndarray:
+        """Multi-RHS :meth:`apply_owned`: applies the operator to the
+        ``(n_owned_dofs, k)`` columns of ``X`` in one batched product.
+
+        Column ``j`` of the result is bitwise identical to
+        ``apply_owned(X[:, j])``.  Work multivectors are cached per
+        distinct ``k``; the aliasing contract matches ``apply_owned``
+        (``copy=False`` returns a view overwritten by the next call with
+        the same ``k``).
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"expected (n, k) multivector, got shape {X.shape}")
+        k = X.shape[1]
+        pair = self._work_multi.get(k)
+        if pair is None:
+            pair = self._work_multi[k] = (
+                self.new_multivector(k),
+                self.new_multivector(k),
+            )
+        U, V = pair
+        U.set_owned(X)
+        self.spmv_multi(U, V)
+        owned = V.owned_matrix
         return np.array(owned, copy=True) if copy else owned
 
     # -- preconditioner support (shared: HYMV loads stored matrices,

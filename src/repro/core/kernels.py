@@ -40,7 +40,18 @@ def emv_einsum(
     With ``out=`` the product is written into the given ``(E, nd)``
     buffer (viewed as ``(E, nd, 1)``) with no heap allocation; the
     result bits are identical either way.
+
+    A multivector batch ``ue`` of shape ``(E, nd, k)`` is accepted and
+    produces the ``(E, nd, k)`` products.  Each column is computed by the
+    exact single-RHS kernel call on a contiguous copy — NOT by one batched
+    ``(nd, k)`` gemm, whose BLAS accumulation order could differ from the
+    gemv path — so ``emv_einsum(ke, ue)[:, :, j]`` is bitwise identical
+    to ``emv_einsum(ke, ue[:, :, j])``.  The multi-RHS win is upstream:
+    one gather/halo exchange for all ``k`` columns and one streaming pass
+    over the element-matrix batch per sweep.
     """
+    if ue.ndim == 3:
+        return _emv_multi(emv_einsum, ke, ue, out)
     if out is None:
         return np.matmul(ke, ue[:, :, None])[:, :, 0]
     np.matmul(ke, ue[:, :, None], out=out[:, :, None])
@@ -74,6 +85,13 @@ def emv_columns(
         layout.  The multiply operands and the add order are unchanged,
         so the result is bitwise identical with or without it.
     """
+    if ue.ndim == 3:
+        # per-column single-RHS calls (see emv_einsum): bitwise identity
+        # per column is the contract the serve micro-batcher relies on
+        def _single(ke_, ue_, out_=None):
+            return emv_columns(ke_, ue_, out=out_, tmp=tmp, columns=columns)
+
+        return _emv_multi(_single, ke, ue, out)
     nd = ke.shape[2]
     col = (lambda j: columns[j]) if columns is not None else (lambda j: ke[:, :, j])
     if out is None:
@@ -94,6 +112,21 @@ def emv_columns(
     for j in range(1, nd):
         np.einsum("en,e->en", col(j), ue[:, j], out=tmp)
         out += tmp
+    return out
+
+
+def _emv_multi(single, ke, ue, out):
+    """Apply a single-RHS EMV kernel column by column over an
+    ``(E, nd, k)`` multivector batch.
+
+    Each column is copied contiguous before the kernel call so the
+    arithmetic runs on exactly the operands the single-RHS path sees
+    (bitwise contract); the strided write-back is a pure copy.
+    """
+    if out is None:
+        out = np.empty_like(ue)
+    for j in range(ue.shape[2]):
+        out[:, :, j] = single(ke, np.ascontiguousarray(ue[:, :, j]))
     return out
 
 
@@ -147,8 +180,17 @@ def gather_element_vectors(
     With ``out=`` the gather lands in the given buffer allocation-free
     (``mode="clip"`` skips the bounds check that would otherwise route
     through a temporary; the maps are validated at construction).
+
+    A 2-D ``flat_data`` of shape ``(n_dofs, k)`` gathers whole dof rows,
+    returning ``(E, nd, k)`` element multivectors; row gathers copy bits,
+    so column ``j`` of the result equals the 1-D gather of column ``j``.
     """
     idx = e2l_dofs if elems is None else e2l_dofs[elems]
+    if flat_data.ndim == 2:
+        if out is None:
+            return flat_data[idx]
+        np.take(flat_data, idx, axis=0, out=out, mode="clip")
+        return out
     if out is None:
         return flat_data[idx]
     np.take(flat_data, idx, out=out, mode="clip")
@@ -162,6 +204,16 @@ def accumulate_element_vectors(
     elems: np.ndarray | None = None,
 ) -> None:
     """Accumulate element vectors ``ve`` (Alg. 2 line 6) into a flat
-    local dof vector."""
+    local dof vector.
+
+    A ``(n_dofs, k)`` destination with ``(E, nd, k)`` products is
+    accumulated column by column through the same ``scatter_add``, so
+    each column's additions happen in the single-RHS order (bitwise
+    contract of the multi-RHS path).
+    """
     idx = e2l_dofs if elems is None else e2l_dofs[elems]
+    if flat_data.ndim == 2:
+        for j in range(flat_data.shape[1]):
+            scatter_add(flat_data[:, j], idx, np.ascontiguousarray(ve[:, :, j]))
+        return
     scatter_add(flat_data, idx, ve)

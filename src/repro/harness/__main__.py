@@ -1,15 +1,19 @@
-"""Regenerate the paper's tables and figures, or run the CI smoke bench.
+"""Entry point: figures/tables, bench suites, chaos matrix, serve harness.
+
+The usage examples below are generated from ``_EXAMPLES`` (one source of
+truth — the module docstring, ``--help`` epilog and README stay in sync
+by construction).
 
 Usage::
 
-    python -m repro.harness                 # everything, small scale
-    python -m repro.harness fig7 fig10      # a subset
-    python -m repro.harness --scale paper   # paper-scale modeled series
-    python -m repro.harness --out results/  # also write one .txt per exp
-    python -m repro.harness bench           # smoke bench -> BENCH_smoke.json
-    python -m repro.harness bench --repeats 3 --out BENCH_smoke.json
-    python -m repro.harness chaos           # fault matrix -> CHAOS_report.json
-    python -m repro.harness chaos --smoke   # CI-sized chaos run
+    python -m repro.harness                   # all experiments, small scale
+    python -m repro.harness fig7 fig10        # a subset of experiments
+    python -m repro.harness --scale paper     # paper-scale modeled series
+    python -m repro.harness --out results/    # also write one .txt per exp
+    python -m repro.harness bench             # smoke bench -> BENCH_smoke.json
+    python -m repro.harness bench --suite kernels  # SPMV hot-path microbench
+    python -m repro.harness chaos --smoke     # fault matrix -> CHAOS_report.json
+    python -m repro.harness serve --smoke     # load harness -> SERVE_report.json
 """
 
 from __future__ import annotations
@@ -18,24 +22,70 @@ import argparse
 import pathlib
 import sys
 
-from repro.harness.registry import EXPERIMENTS, run_experiment
-from repro.util.tables import render_many
+# subcommand name -> (module with main(), one-line description)
+_COMMANDS = {
+    "bench": ("repro.obs.bench", "bench suites -> BENCH_<suite>.json "
+              "(--suite smoke|kernels)"),
+    "chaos": ("repro.faults.chaos", "fault-injection matrix -> "
+              "CHAOS_report.json (--smoke for CI size)"),
+    "serve": ("repro.serve.loadgen", "batched-solver load harness -> "
+              "SERVE_report.json (--smoke for CI size)"),
+}
+
+# (example invocation, what it does) — the single source of the usage block
+_EXAMPLES = (
+    ("python -m repro.harness", "all experiments, small scale"),
+    ("python -m repro.harness fig7 fig10", "a subset of experiments"),
+    ("python -m repro.harness --scale paper", "paper-scale modeled series"),
+    ("python -m repro.harness --out results/", "also write one .txt per exp"),
+    ("python -m repro.harness bench", "smoke bench -> BENCH_smoke.json"),
+    ("python -m repro.harness bench --suite kernels",
+     "SPMV hot-path microbench"),
+    ("python -m repro.harness chaos --smoke",
+     "fault matrix -> CHAOS_report.json"),
+    ("python -m repro.harness serve --smoke",
+     "load harness -> SERVE_report.json"),
+)
+
+
+def _usage_block() -> str:
+    width = max(len(cmd) for cmd, _ in _EXAMPLES)
+    return "\n".join(f"    {cmd:<{width}}  # {why}" for cmd, why in _EXAMPLES)
+
+
+def _epilog() -> str:
+    sub = "\n".join(
+        f"  {name:<7} {desc}" for name, (_, desc) in sorted(_COMMANDS.items())
+    )
+    return (
+        f"subcommands (each takes its own --help):\n{sub}\n\n"
+        f"examples:\n{_usage_block()}"
+    )
+
+
+# keep the module docstring's usage block in lockstep with _EXAMPLES
+__doc__ = (
+    __doc__.split("Usage::")[0] + "Usage::\n\n" + _usage_block() + "\n"
+)
 
 
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "bench":
-        from repro.obs.bench import main as bench_main
+    if argv and argv[0] in _COMMANDS:
+        import importlib
 
-        return bench_main(argv[1:])
-    if argv and argv[0] == "chaos":
-        from repro.faults.chaos import main as chaos_main
+        module = importlib.import_module(_COMMANDS[argv[0]][0])
+        return module.main(argv[1:])
 
-        return chaos_main(argv[1:])
+    from repro.harness.registry import EXPERIMENTS, run_experiment
+    from repro.util.tables import render_many
+
     ap = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Reproduce the paper's tables and figures",
+        epilog=_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     ap.add_argument(
         "experiments", nargs="*", default=[],

@@ -14,15 +14,19 @@ from repro.obs.instrumentation import (
     TraceEvent,
     get_instrumentation,
     merge_snapshots,
+    percentile,
+    percentile_summary,
     reset_instrumentation,
 )
 from repro.obs.schema import (
     BENCH_SCHEMA,
     CHAOS_SCHEMA,
+    SERVE_SCHEMA,
     SchemaError,
     machine_fingerprint,
     validate_bench_doc,
     validate_chaos_doc,
+    validate_serve_doc,
 )
 
 __all__ = [
@@ -31,11 +35,15 @@ __all__ = [
     "TraceEvent",
     "get_instrumentation",
     "merge_snapshots",
+    "percentile",
+    "percentile_summary",
     "reset_instrumentation",
     "BENCH_SCHEMA",
     "CHAOS_SCHEMA",
+    "SERVE_SCHEMA",
     "SchemaError",
     "machine_fingerprint",
     "validate_bench_doc",
     "validate_chaos_doc",
+    "validate_serve_doc",
 ]

@@ -19,11 +19,11 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
-import statistics
 import sys
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.obs.instrumentation import percentile
 from repro.obs.schema import new_bench_doc, validate_bench_doc
 
 __all__ = ["SmokeCase", "SMOKE_CASES", "run_smoke_suite", "main"]
@@ -70,8 +70,11 @@ SMOKE_CASES: tuple[SmokeCase, ...] = (
 
 
 def _phase_stats(samples: list[float]) -> dict[str, float]:
+    # percentile(·, 50) is the shared first-class summary helper (also
+    # used by the serve report); for the smoke suite's repeat counts it
+    # agrees with statistics.median to the last ulp or better
     return {
-        "median": statistics.median(samples),
+        "median": percentile(samples, 50),
         "min": min(samples),
         "max": max(samples),
         "repeats": len(samples),
@@ -113,7 +116,7 @@ def _run_case_method(
     phases = {}
     for label, samples in sorted(vtimes.items()):
         phases[label] = _phase_stats(samples)
-        phases[label]["wall_median"] = statistics.median(walls[label])
+        phases[label]["wall_median"] = percentile(walls[label], 50)
     return {
         "case": case.name,
         "method": method,

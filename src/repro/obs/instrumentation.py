@@ -22,6 +22,7 @@ the paper does (max over ranks for times, sum for counters).
 
 from __future__ import annotations
 
+import math
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -32,9 +33,51 @@ __all__ = [
     "TraceEvent",
     "Instrumentation",
     "merge_snapshots",
+    "percentile",
+    "percentile_summary",
     "get_instrumentation",
     "reset_instrumentation",
 ]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``samples`` (linear interpolation
+    between closest ranks — numpy's default method, implemented in pure
+    Python so the observability core keeps its zero-dependency rule).
+
+    ``percentile(xs, 50)`` is the median; tail percentiles (p95/p99) are
+    the latency numbers the serve harness reports.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    xs = sorted(float(s) for s in samples)
+    if not xs:
+        raise ValueError("percentile of an empty sample set")
+    pos = (len(xs) - 1) * (q / 100.0)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return xs[lo]
+    return xs[lo] + (xs[hi] - xs[lo]) * (pos - lo)
+
+
+def percentile_summary(
+    samples: Sequence[float], qs: Sequence[float] = (50, 95, 99)
+) -> dict[str, float]:
+    """Latency-style summary of a sample set: one ``p<q>`` entry per
+    requested percentile plus ``mean``/``min``/``max``/``n``."""
+    xs = [float(s) for s in samples]
+    if not xs:
+        raise ValueError("percentile_summary of an empty sample set")
+    out: dict[str, float] = {}
+    for q in qs:
+        key = f"p{q:g}".replace(".", "_")
+        out[key] = percentile(xs, q)
+    out["mean"] = sum(xs) / len(xs)
+    out["min"] = min(xs)
+    out["max"] = max(xs)
+    out["n"] = len(xs)
+    return out
 
 
 @dataclass

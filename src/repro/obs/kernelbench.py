@@ -23,7 +23,6 @@ checks the ratio and the allocation counter, never absolute times.
 
 from __future__ import annotations
 
-import statistics
 import time
 import tracemalloc
 from contextlib import contextmanager
@@ -32,7 +31,7 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.obs.instrumentation import Instrumentation
+from repro.obs.instrumentation import Instrumentation, percentile
 from repro.obs.schema import new_bench_doc, validate_bench_doc
 
 __all__ = ["KernelCase", "KERNEL_CASES", "run_kernels_suite"]
@@ -164,7 +163,7 @@ def _measure_alloc(A, u, v, n_spmv: int) -> int:
 
 def _phase_stats(samples: list[float]) -> dict[str, float]:
     return {
-        "median": statistics.median(samples),
+        "median": percentile(samples, 50),
         "min": min(samples),
         "max": max(samples),
         "repeats": len(samples),
@@ -211,7 +210,7 @@ def _run_case_kernel(
         counters = dict(A.comm.obs.snapshot()["counters"])
         counters["spmv.bytes_alloc"] = float(alloc)
         counters["spmv.bytes_alloc_raw"] = float(raw_alloc)
-        medians[tag] = statistics.median(samples)
+        medians[tag] = percentile(samples, 50)
         best[tag] = min(samples)
         rows.append(
             {

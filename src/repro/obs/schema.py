@@ -19,12 +19,15 @@ from typing import Any
 __all__ = [
     "BENCH_SCHEMA",
     "CHAOS_SCHEMA",
+    "SERVE_SCHEMA",
     "SchemaError",
     "machine_fingerprint",
     "new_bench_doc",
     "new_chaos_doc",
+    "new_serve_doc",
     "validate_bench_doc",
     "validate_chaos_doc",
+    "validate_serve_doc",
 ]
 
 #: Schema identifier; bump the trailing integer on breaking changes.
@@ -33,6 +36,10 @@ BENCH_SCHEMA = "repro.bench/1"
 #: Chaos-report schema (``CHAOS_report.json`` written by
 #: ``python -m repro.harness chaos``).
 CHAOS_SCHEMA = "repro.chaos/1"
+
+#: Serve-report schema (``SERVE_report.json`` written by
+#: ``python -m repro.harness serve``).
+SERVE_SCHEMA = "repro.serve/1"
 
 _PHASE_STAT_KEYS = ("median", "min", "max", "repeats")
 _RESULT_REQUIRED = ("case", "method", "n_parts", "n_dofs", "phases", "counters")
@@ -164,4 +171,74 @@ def validate_chaos_doc(doc: Any) -> dict[str, Any]:
             raise SchemaError(f"{where}.counters must be an object")
         if not isinstance(sc["failures"], list):
             raise SchemaError(f"{where}.failures must be a list")
+    return doc
+
+
+# ----------------------------------------------------------------------------
+# serve report
+# ----------------------------------------------------------------------------
+
+_SERVE_SCENARIO_REQUIRED = (
+    "scenario", "workload", "requests", "latency_s", "throughput_rps",
+    "makespan_s", "batch_histogram", "cache", "counters",
+)
+_SERVE_REQUEST_KEYS = (
+    "submitted", "completed", "rejected", "shed_deadline", "cancelled",
+    "failed", "wrong_answers",
+)
+_SERVE_LATENCY_KEYS = ("p50", "p95", "p99", "mean", "min", "max", "n")
+
+
+def new_serve_doc(config: dict[str, Any] | None = None) -> dict[str, Any]:
+    """An empty, schema-conforming serve report."""
+    return {
+        "schema": SERVE_SCHEMA,
+        "created_unix": time.time(),
+        "machine": machine_fingerprint(),
+        "config": dict(config or {}),
+        "scenarios": [],
+    }
+
+
+def validate_serve_doc(doc: Any) -> dict[str, Any]:
+    """Validate a parsed serve report; returns it on success."""
+    if not isinstance(doc, dict):
+        raise SchemaError(f"serve doc must be an object, got {type(doc).__name__}")
+    schema = doc.get("schema")
+    if schema != SERVE_SCHEMA:
+        raise SchemaError(
+            f"unsupported schema {schema!r} (expected {SERVE_SCHEMA!r})"
+        )
+    for key in ("machine", "config", "scenarios"):
+        if key not in doc:
+            raise SchemaError(f"serve doc missing key {key!r}")
+    if not isinstance(doc["scenarios"], list):
+        raise SchemaError("'scenarios' must be a list")
+    for i, sc in enumerate(doc["scenarios"]):
+        where = f"scenarios[{i}]"
+        if not isinstance(sc, dict):
+            raise SchemaError(f"{where} must be an object")
+        for key in _SERVE_SCENARIO_REQUIRED:
+            if key not in sc:
+                raise SchemaError(f"{where} missing key {key!r}")
+        for key in _SERVE_REQUEST_KEYS:
+            if key not in sc["requests"]:
+                raise SchemaError(f"{where}.requests missing key {key!r}")
+        if not isinstance(sc["latency_s"], dict):
+            raise SchemaError(f"{where}.latency_s must be an object")
+        if sc["requests"]["completed"] and "all" not in sc["latency_s"]:
+            raise SchemaError(f"{where}.latency_s missing the 'all' summary")
+        for kind, summ in sc["latency_s"].items():
+            for key in _SERVE_LATENCY_KEYS:
+                if key not in summ:
+                    raise SchemaError(
+                        f"{where}.latency_s[{kind!r}] missing key {key!r}"
+                    )
+        if not isinstance(sc["batch_histogram"], dict):
+            raise SchemaError(f"{where}.batch_histogram must be an object")
+        for key in ("hits", "misses", "evictions", "hit_rate"):
+            if key not in sc["cache"]:
+                raise SchemaError(f"{where}.cache missing key {key!r}")
+        if not isinstance(sc["counters"], dict):
+            raise SchemaError(f"{where}.counters must be an object")
     return doc

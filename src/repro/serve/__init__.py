@@ -1,0 +1,39 @@
+"""Batched solver service: operator cache, multi-RHS micro-batching,
+deadlines, and a closed-loop load harness.
+
+The serving layer turns the repository's distributed SPMV/CG stack into a
+long-lived *solver service*, the deployment shape the paper's batched-EMV
+design is built for: the element matrices are computed once, cached, and
+amortized across many incoming products (§III — "setup cost is paid once
+and amortized over the solver iterations"; here, over *requests* too).
+
+* :mod:`repro.serve.cache` — :class:`OperatorCache`: LRU cache of warm
+  solver contexts keyed by a canonical problem-spec fingerprint.
+* :mod:`repro.serve.queue` — bounded FIFO admission queue with per-request
+  deadlines and cancellation.
+* :mod:`repro.serve.batcher` — micro-batcher grouping compatible requests
+  per operator into one multi-RHS product (bitwise identical per column
+  to independent single-RHS execution).
+* :mod:`repro.serve.service` — :class:`SolverService`: dispatch loop with
+  load shedding and fault-aware degradation (never wrong answers).
+* :mod:`repro.serve.loadgen` — seeded open-/closed-loop load generator
+  behind ``python -m repro.harness serve``; writes the schema-versioned
+  ``SERVE_report.json``.
+"""
+
+from repro.serve.batcher import BatchPolicy, MicroBatcher
+from repro.serve.cache import OperatorCache, ProblemKey, SolverContext
+from repro.serve.queue import RequestQueue, ServeRequest
+from repro.serve.service import Completion, DispatchOutcome, SolverService
+
+__all__ = [
+    "BatchPolicy",
+    "Completion",
+    "DispatchOutcome",
+    "MicroBatcher",
+    "OperatorCache",
+    "ProblemKey",
+    "RequestQueue",
+    "ServeRequest",
+    "SolverContext",
+]

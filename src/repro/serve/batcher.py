@@ -1,0 +1,66 @@
+"""Micro-batcher: group compatible requests into one multi-RHS product.
+
+The head of the FIFO queue defines the batch group; every younger request
+that is *compatible* — same operator key, same kind, and (for solves) the
+same tolerance — joins, up to ``max_batch`` columns.  Incompatible
+requests keep their queue positions, so FIFO order *within* each operator
+key is never violated (the fairness property the Hypothesis suite pins
+down), while the batch itself executes as a single ``(n, k)`` multivector
+sweep through the cached operator.
+
+This is the serving-side payoff of the paper's batched-EMV design: the
+element matrices are read from memory once per sweep regardless of ``k``,
+so batching k requests costs far less than k products.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serve.queue import RequestQueue, ServeRequest
+
+__all__ = ["BatchPolicy", "MicroBatcher"]
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Grouping rules for the micro-batcher."""
+
+    max_batch: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+
+    def compatible(self, a: ServeRequest, b: ServeRequest) -> bool:
+        """Can ``a`` and ``b`` share one multi-RHS execution?"""
+        if a.key != b.key or a.kind != b.kind:
+            return False
+        # solve batches iterate in lock step to one tolerance; mixing
+        # tolerances would change per-column stopping (not bitwise-safe)
+        return a.kind != "solve" or a.rtol == b.rtol
+
+
+class MicroBatcher:
+    """Forms the next batch from the head of a :class:`RequestQueue`."""
+
+    def __init__(self, policy: BatchPolicy | None = None):
+        self.policy = policy or BatchPolicy()
+
+    def next_batch(self, queue: RequestQueue) -> list[ServeRequest]:
+        """Pop and return the next batch (empty when the queue is empty).
+
+        Scans in FIFO order: the oldest request seeds the batch and every
+        compatible younger request joins until ``max_batch``.  Requests
+        that do not match stay queued, in order.
+        """
+        head = queue.head()
+        if head is None:
+            return []
+        picked = [head]
+        for req in queue.fifo():
+            if len(picked) >= self.policy.max_batch:
+                break
+            if req.rid != head.rid and self.policy.compatible(head, req):
+                picked.append(req)
+        return queue.take(r.rid for r in picked)

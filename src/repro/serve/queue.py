@@ -1,0 +1,98 @@
+"""Bounded FIFO admission queue with deadlines and cancellation.
+
+Pure Python (no numpy) so the queue/batcher pair stays cheap to
+property-test under Hypothesis.  Invariants the tests pin down:
+
+* global FIFO order is preserved — requests are only ever removed, never
+  reordered;
+* a request leaves the queue exactly once (completed, cancelled, shed, or
+  rejected at admission) — never lost, never duplicated;
+* the queue never holds more than ``capacity`` requests.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["ServeRequest", "RequestQueue"]
+
+_KINDS = ("spmv", "solve")
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One unit of client work.
+
+    The request does not carry its right-hand side as data: the vector is
+    regenerated deterministically from ``seed`` on the serving side (and
+    by the verifier), which keeps requests cheap and replayable.
+    """
+
+    rid: int
+    key: Any  # operator identity (hashable; a ProblemKey in practice)
+    kind: str = "spmv"  # "spmv" | "solve"
+    seed: int = 0
+    arrival: float = 0.0  # virtual-time arrival stamp
+    deadline: float | None = None  # absolute virtual time; None = no deadline
+    rtol: float = 1e-6  # solve requests only
+    meta: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown request kind {self.kind!r}")
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and self.deadline < now
+
+
+class RequestQueue:
+    """Bounded FIFO queue keyed by request id."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._q: OrderedDict[int, ServeRequest] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def __bool__(self) -> bool:
+        return bool(self._q)
+
+    def __contains__(self, rid: int) -> bool:
+        return rid in self._q
+
+    def submit(self, req: ServeRequest) -> bool:
+        """Admit ``req``; returns False (shed) when the queue is full."""
+        if req.rid in self._q:
+            raise ValueError(f"duplicate request id {req.rid}")
+        if len(self._q) >= self.capacity:
+            return False
+        self._q[req.rid] = req
+        return True
+
+    def cancel(self, rid: int) -> ServeRequest | None:
+        """Remove a queued request; returns it, or None if not queued."""
+        return self._q.pop(rid, None)
+
+    def expire(self, now: float) -> list[ServeRequest]:
+        """Remove and return every request whose deadline has passed."""
+        dead = [r for r in self._q.values() if r.expired(now)]
+        for r in dead:
+            del self._q[r.rid]
+        return dead
+
+    def fifo(self) -> Iterator[ServeRequest]:
+        """Queued requests, oldest first (admission order)."""
+        return iter(list(self._q.values()))
+
+    def head(self) -> ServeRequest | None:
+        return next(iter(self._q.values()), None)
+
+    def take(self, rids: Iterator[int]) -> list[ServeRequest]:
+        """Remove the given ids (which must all be queued); FIFO order is
+        preserved for the requests left behind."""
+        return [self._q.pop(rid) for rid in rids]

@@ -1,0 +1,192 @@
+"""The solver service: admission, batching, execution, fault handling.
+
+:class:`SolverService` is the single-server dispatch loop the load
+harness drives in virtual time: admit (or shed) requests into the bounded
+queue, expire deadlines, form a micro-batch of compatible requests, and
+execute it as one multi-RHS operation against the cached operator.
+
+Fault policy — the service may be slow or reject work, but it never
+returns a wrong answer:
+
+* a batch whose execution raised the detected-corruption signal
+  (``faults.checksum_fail`` / ``spmv.ghost_nonfinite``) is discarded and
+  retried; persisting corruption fails the requests cleanly;
+* an exception escaping the simulated run (a poisoned simulator) drops
+  the cached context entirely — the next attempt rebuilds it;
+* solve batches under an active fault plan degrade from the lock-step
+  fused multi-RHS CG to sequential single-RHS *resilient* CG (breakdown
+  detection + restart), trading throughput for safety.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs.instrumentation import Instrumentation
+from repro.serve.batcher import BatchPolicy, MicroBatcher
+from repro.serve.cache import OperatorCache
+from repro.serve.queue import RequestQueue, ServeRequest
+
+__all__ = ["Completion", "DispatchOutcome", "SolverService"]
+
+
+class _CorruptBatch(Exception):
+    """Execution finished but the corruption signal moved: retry."""
+
+
+@dataclass
+class Completion:
+    """Terminal record of one request."""
+
+    request: ServeRequest
+    status: str  # "ok" | "failed"
+    value: np.ndarray | None = None  # owned result column (global order)
+    info: dict = field(default_factory=dict)
+
+
+@dataclass
+class DispatchOutcome:
+    """Result of one :meth:`SolverService.dispatch` call."""
+
+    completions: list[Completion]
+    duration: float  # virtual seconds consumed by this dispatch
+    expired: list[ServeRequest]
+    batch_size: int
+
+
+class SolverService:
+    """Batched solver frontend over an :class:`OperatorCache`."""
+
+    def __init__(
+        self,
+        cache: OperatorCache,
+        max_batch: int = 8,
+        queue_capacity: int = 64,
+        retry_limit: int = 2,
+        maxiter: int = 2000,
+        obs: Instrumentation | None = None,
+    ):
+        self.cache = cache
+        self.obs = obs if obs is not None else cache.obs
+        self.queue = RequestQueue(queue_capacity)
+        self.batcher = MicroBatcher(BatchPolicy(max_batch))
+        self.retry_limit = retry_limit
+        self.maxiter = maxiter
+        self.batch_histogram: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+
+    def submit(self, req: ServeRequest) -> bool:
+        """Admit a request; returns False when shed (queue full)."""
+        self.obs.incr("serve.submitted")
+        if not self.queue.submit(req):
+            self.obs.incr("serve.rejected")
+            return False
+        return True
+
+    def cancel(self, rid: int) -> bool:
+        """Cancel a still-queued request (in-flight work is not torn down)."""
+        if self.queue.cancel(rid) is None:
+            return False
+        self.obs.incr("serve.cancelled")
+        return True
+
+    @property
+    def pending(self) -> int:
+        return len(self.queue)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def dispatch(self, now: float) -> DispatchOutcome:
+        """Shed expired requests, then execute the next micro-batch."""
+        expired = self.queue.expire(now)
+        if expired:
+            self.obs.incr("serve.shed_deadline", len(expired))
+        batch = self.batcher.next_batch(self.queue)
+        if not batch:
+            return DispatchOutcome([], 0.0, expired, 0)
+        k = len(batch)
+        self.batch_histogram[k] = self.batch_histogram.get(k, 0) + 1
+        self.obs.incr("serve.batches")
+        self.obs.incr("serve.batched_requests", k)
+        completions, duration = self._execute(batch)
+        for c in completions:
+            self.obs.incr(f"serve.{'completed' if c.status == 'ok' else 'failed'}")
+        return DispatchOutcome(completions, duration, expired, k)
+
+    def _execute(self, batch: list[ServeRequest]) -> tuple[list[Completion], float]:
+        key, kind = batch[0].key, batch[0].kind
+        duration = 0.0
+        attempts = 0
+        while True:
+            try:
+                ctx, build_dt = self.cache.get(key)
+                duration += build_dt
+                sig0 = ctx.fault_signal()
+                completions, dt = self._run_batch(ctx, batch, kind)
+                duration += dt
+                if ctx.fault_signal() > sig0:
+                    # value-affecting fault detected during the batch:
+                    # the results cannot be trusted — discard them
+                    raise _CorruptBatch()
+                return completions, duration
+            except _CorruptBatch:
+                self.obs.incr("serve.corrupt_batches")
+            except RuntimeError as exc:
+                # the aborted run poisons the simulator; rebuild the
+                # context from scratch on the next attempt
+                self.cache.invalidate(key)
+                self.obs.incr("serve.rebuilds")
+                if attempts >= self.retry_limit:
+                    return self._fail(batch, f"execution failed: {exc}"), duration
+            attempts += 1
+            if attempts > self.retry_limit:
+                return self._fail(batch, "corruption persisted"), duration
+            self.obs.incr("serve.retries")
+
+    def _run_batch(self, ctx, batch, kind):
+        X = np.column_stack(
+            [self.input_vector(ctx, r.seed) for r in batch]
+        )
+        if kind == "spmv":
+            Y, dt = ctx.apply_multi(X)
+            return [
+                Completion(r, "ok", np.ascontiguousarray(Y[:, j]))
+                for j, r in enumerate(batch)
+            ], dt
+        degraded = ctx.faulted
+        if degraded:
+            self.obs.incr("serve.degraded", len(batch))
+        out, dt = ctx.solve_multi(
+            X, rtol=batch[0].rtol, maxiter=self.maxiter, degraded=degraded
+        )
+        comps = []
+        for j, r in enumerate(batch):
+            conv = bool(out["converged"][j])
+            comps.append(Completion(
+                r,
+                "ok" if conv else "failed",
+                np.ascontiguousarray(out["x"][:, j]) if conv else None,
+                {
+                    "iterations": int(out["iterations"][j]),
+                    "restarts": int(out["restarts"][j]),
+                    "degraded": degraded,
+                },
+            ))
+        return comps, dt
+
+    @staticmethod
+    def input_vector(ctx, seed: int) -> np.ndarray:
+        """The request's deterministic input/RHS vector (replayable by
+        the verifier from the seed alone)."""
+        return np.random.default_rng(seed).standard_normal(ctx.n_dofs)
+
+    @staticmethod
+    def _fail(batch, reason):
+        return [Completion(r, "failed", None, {"reason": reason}) for r in batch]

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.simmpi.communicator import Communicator
 
-__all__ = ["cg", "CGResult", "ResilienceConfig"]
+__all__ = ["cg", "cg_multi", "CGResult", "ResilienceConfig"]
 
 ApplyFn = Callable[[np.ndarray], np.ndarray]
 
@@ -295,3 +295,147 @@ def _cg_fused(
     obs.incr("solve.iterations", it)
     obs.record("solve.cg", vtime=comm.vtime - t_solve)
     return CGResult(x, it, converged, norms)
+
+
+def _col(A: np.ndarray, j: int) -> np.ndarray:
+    """Contiguous copy of column ``j`` — dots must run on contiguous
+    operands so BLAS picks the same accumulation path as the single-RHS
+    loop (strided ddot kernels may sum in a different order)."""
+    return np.ascontiguousarray(A[:, j])
+
+
+def cg_multi(
+    comm: Communicator,
+    apply_A: Callable[[np.ndarray], np.ndarray],
+    B: np.ndarray,
+    x0: np.ndarray | None = None,
+    apply_M: ApplyFn | None = None,
+    rtol: float = 1e-3,
+    atol: float = 0.0,
+    maxiter: int = 10000,
+) -> list[CGResult]:
+    """Blocked multi-RHS CG: solve ``A X = B`` for all ``k`` columns of
+    ``B`` at once, advancing the ``k`` independent Krylov iterations in
+    lock-step.
+
+    Column ``j`` of the result is **bitwise identical** to
+    ``cg(comm, ..., B[:, j], fused=True)``: each column's arithmetic is
+    the exact fused-loop sequence (same in-place axpy updates, same
+    contiguous dot operands), the columns never mix numerically, and a
+    converged column is frozen — never touched again — just as its
+    single-RHS solve would have stopped.  What *is* batched is the
+    synchronization: each iteration ships ONE allreduce of a ``k``-vector
+    of ``p·Ap`` values and one of the fused ``[r·r, r·z]`` pairs, where
+    ``k`` sequential solves would ship ``2 k`` — the elementwise vector
+    reduction reduces every slot in the same rank order as a scalar, so
+    the reduced values carry the single-RHS bits.  With the batched SPMV
+    (``apply_owned_multi``) as ``apply_A`` this is the serve layer's
+    latency story: global synchronizations per iteration drop k-fold.
+
+    Returns one :class:`CGResult` per column.
+    """
+    obs = comm.obs
+    B = np.asarray(B, dtype=np.float64)
+    if B.ndim != 2:
+        raise ValueError(f"expected (n, k) multivector RHS, got shape {B.shape}")
+    n, k = B.shape
+    t_solve = comm.vtime
+
+    def matvec(P: np.ndarray) -> np.ndarray:
+        t = comm.vtime
+        AP = apply_A(P)
+        obs.record("solve.spmv", vtime=comm.vtime - t)
+        return AP
+
+    def reduce_vec(payload: np.ndarray) -> np.ndarray:
+        t = comm.vtime
+        out = comm.allreduce(payload)
+        obs.record("solve.reduce", vtime=comm.vtime - t)
+        return np.asarray(out)
+
+    X = np.zeros_like(B) if x0 is None else np.asarray(
+        x0, dtype=np.float64
+    ).reshape(n, k).copy()
+    R = B - matvec(X) if x0 is not None else B.copy()
+    Z = R if apply_M is None else np.empty_like(B)
+    active = np.ones(k, dtype=bool)
+
+    def precond_into() -> None:
+        if apply_M is None:
+            return
+        t = comm.vtime
+        for j in range(k):
+            if active[j]:
+                Z[:, j] = apply_M(_col(R, j))
+        obs.record("solve.precond", vtime=comm.vtime - t)
+
+    precond_into()
+    P = Z.copy()
+    payload = np.zeros(k)
+    for j in range(k):
+        payload[j] = float(_col(R, j) @ _col(Z, j))
+    rz = reduce_vec(payload.copy())
+    for j in range(k):
+        payload[j] = float(_col(R, j) @ _col(R, j))
+    r0 = np.sqrt(reduce_vec(payload.copy()))
+    norms = [[float(r0[j])] for j in range(k)]
+    iters = [0] * k
+    conv = [False] * k
+    for j in range(k):
+        if r0[j] == 0.0:
+            active[j] = False
+            conv[j] = True
+
+    w = np.empty(n)  # axpy scratch, shared across columns
+    pair = np.empty(2 * k)  # fused payload: [r·r, r·z] per column
+    it = 0
+    while bool(active.any()) and it < maxiter:
+        it += 1
+        AP = matvec(P)
+        payload[:] = 0.0
+        for j in range(k):
+            if active[j]:
+                payload[j] = float(_col(P, j) @ _col(AP, j))
+        pAp = reduce_vec(payload.copy())
+        for j in range(k):
+            if active[j] and pAp[j] <= 0.0:
+                raise RuntimeError(
+                    f"CG breakdown: p^T A p = {pAp[j]:.3e} (operator not SPD?)"
+                )
+        for j in range(k):
+            if not active[j]:
+                continue
+            alpha = float(rz[j]) / float(pAp[j])
+            np.multiply(P[:, j], alpha, out=w)
+            X[:, j] += w
+            np.multiply(AP[:, j], alpha, out=w)
+            R[:, j] -= w
+        precond_into()
+        pair[:] = 0.0
+        for j in range(k):
+            if active[j]:
+                pair[2 * j] = float(_col(R, j) @ _col(R, j))
+                pair[2 * j + 1] = float(_col(R, j) @ _col(Z, j))
+        red = reduce_vec(pair.copy())
+        for j in range(k):
+            if not active[j]:
+                continue
+            rn = float(np.sqrt(red[2 * j]))
+            norms[j].append(rn)
+            iters[j] = it
+            if rn <= max(rtol * float(r0[j]), atol):
+                conv[j] = True
+                active[j] = False
+                continue
+            rz_new = float(red[2 * j + 1])
+            beta = rz_new / float(rz[j])
+            rz[j] = rz_new
+            P[:, j] *= beta
+            P[:, j] += Z[:, j]
+    obs.incr("solve.iterations", sum(iters))
+    obs.incr("solve.mrhs_columns", k)
+    obs.record("solve.cg", vtime=comm.vtime - t_solve)
+    return [
+        CGResult(np.ascontiguousarray(X[:, j]), iters[j], conv[j], norms[j])
+        for j in range(k)
+    ]

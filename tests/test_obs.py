@@ -9,6 +9,8 @@ from repro.obs import (
     Instrumentation,
     get_instrumentation,
     merge_snapshots,
+    percentile,
+    percentile_summary,
     reset_instrumentation,
 )
 from repro.simmpi import run_spmd
@@ -203,3 +205,51 @@ def test_process_registry_is_stable_until_reset():
     fresh = reset_instrumentation()
     assert fresh is not first
     assert get_instrumentation() is fresh
+
+
+# ----------------------------------------------------------------------------
+# percentile helpers (shared by the bench suites and the serve report)
+# ----------------------------------------------------------------------------
+
+def test_percentile_matches_numpy_linear_interpolation():
+    rng = np.random.default_rng(3)
+    for n in (1, 2, 3, 10, 101):
+        xs = rng.standard_normal(n).tolist()
+        for q in (0, 1, 25, 50, 75, 95, 99, 100):
+            assert percentile(xs, q) == pytest.approx(
+                float(np.percentile(xs, q)), rel=0, abs=1e-12
+            )
+
+
+def test_percentile_is_order_invariant_and_median():
+    xs = [5.0, 1.0, 3.0]
+    assert percentile(xs, 50) == 3.0
+    assert percentile(sorted(xs), 50) == percentile(xs, 50)
+    assert percentile([2.0], 99) == 2.0
+
+
+def test_percentile_rejects_bad_input():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], -1)
+    with pytest.raises(ValueError):
+        percentile([1.0], 100.5)
+
+
+def test_percentile_summary_shape():
+    xs = list(range(1, 101))
+    summ = percentile_summary(xs)
+    assert set(summ) == {"p50", "p95", "p99", "mean", "min", "max", "n"}
+    assert summ["n"] == 100
+    assert summ["min"] == 1 and summ["max"] == 100
+    assert summ["mean"] == pytest.approx(50.5)
+    assert summ["p50"] == pytest.approx(float(np.percentile(xs, 50)))
+    assert summ["p95"] == pytest.approx(float(np.percentile(xs, 95)))
+    with pytest.raises(ValueError):
+        percentile_summary([])
+
+
+def test_percentile_summary_custom_quantiles():
+    summ = percentile_summary([1.0, 2.0, 3.0], qs=(10, 99.9))
+    assert "p10" in summ and "p99_9" in summ

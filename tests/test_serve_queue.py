@@ -1,0 +1,178 @@
+"""Property tests for the serve admission queue and micro-batcher.
+
+The invariants the serving layer's correctness story rests on:
+
+* **conservation** — every admitted request leaves the system exactly
+  once (dispatched, cancelled, or deadline-expired); none lost, none
+  duplicated, and rejected requests never reappear;
+* **FIFO fairness within a compatibility group** — requests sharing
+  (key, kind, rtol) are dispatched in admission order, no matter how
+  other groups interleave;
+* **bounds** — the queue never exceeds its capacity and a batch never
+  exceeds ``max_batch``, and every batch is internally compatible.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.batcher import BatchPolicy, MicroBatcher
+from repro.serve.queue import RequestQueue, ServeRequest
+
+# one scripted interaction: (op, key_id, kind_id, extra)
+_OP = st.tuples(
+    st.sampled_from(["submit", "cancel", "tick", "batch"]),
+    st.integers(0, 3),  # key id
+    st.integers(0, 1),  # kind selector
+    st.integers(0, 6),  # cancel-target selector / deadline offset (0 = none)
+)
+
+
+def _group(req: ServeRequest):
+    return (req.key, req.kind, req.rtol)
+
+
+def _run_script(ops, capacity, max_batch):
+    """Drive queue+batcher through a script; returns the bookkeeping."""
+    q = RequestQueue(capacity=capacity)
+    b = MicroBatcher(BatchPolicy(max_batch=max_batch))
+    now = 0.0
+    rid = 0
+    admitted: dict[int, ServeRequest] = {}
+    outcome: dict[int, str] = {}
+    batches: list[list[ServeRequest]] = []
+
+    def drain_expired():
+        for r in q.expire(now):
+            assert outcome.setdefault(r.rid, "expired") == "expired"
+
+    for op, key_id, kind_id, extra in ops:
+        if op == "submit":
+            req = ServeRequest(
+                rid=rid,
+                key=f"key{key_id}",
+                kind="solve" if kind_id else "spmv",
+                arrival=now,
+                deadline=(now + extra) if extra else None,
+            )
+            rid += 1
+            was_full = len(q) >= capacity
+            ok = q.submit(req)
+            assert ok != was_full  # shed iff full
+            if ok:
+                admitted[req.rid] = req
+            else:
+                outcome[req.rid] = "rejected"
+        elif op == "cancel":
+            live = sorted(set(admitted) - set(outcome))
+            if live:
+                target = live[extra % len(live)]
+                got = q.cancel(target)
+                assert got is not None and got.rid == target
+                outcome[target] = "cancelled"
+            # cancelling something already gone must be a no-op
+            if outcome:
+                done = sorted(outcome)[extra % len(outcome)]
+                assert q.cancel(done) is None
+        elif op == "tick":
+            now += 1.0 + extra
+            drain_expired()
+        elif op == "batch":
+            drain_expired()
+            batch = b.next_batch(q)
+            assert len(batch) <= max_batch
+            if batch:
+                head = batch[0]
+                assert all(_group(r) == _group(head) for r in batch)
+                for r in batch:
+                    assert outcome.setdefault(r.rid, "dispatched") == (
+                        "dispatched"
+                    )
+                batches.append(batch)
+        assert len(q) <= capacity
+
+    # drain: everything still queued must come out via batches
+    while q:
+        batch = b.next_batch(q)
+        assert batch and len(batch) <= max_batch
+        for r in batch:
+            assert outcome.setdefault(r.rid, "dispatched") == "dispatched"
+        batches.append(batch)
+    return admitted, outcome, batches
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(_OP, min_size=1, max_size=80),
+    capacity=st.integers(1, 12),
+    max_batch=st.integers(1, 6),
+)
+def test_conservation_no_loss_no_duplication(ops, capacity, max_batch):
+    admitted, outcome, batches = _run_script(ops, capacity, max_batch)
+    # every admitted request has exactly one terminal outcome
+    assert set(admitted) == {
+        r for r, o in outcome.items() if o != "rejected"
+    }
+    # no request appears in two batches (outcome.setdefault guards dupes,
+    # double-check across the batch list)
+    seen = [r.rid for batch in batches for r in batch]
+    assert len(seen) == len(set(seen))
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(_OP, min_size=1, max_size=80),
+    capacity=st.integers(1, 12),
+    max_batch=st.integers(1, 6),
+)
+def test_fifo_fairness_within_group(ops, capacity, max_batch):
+    admitted, outcome, batches = _run_script(ops, capacity, max_batch)
+    dispatched: dict[tuple, list[int]] = {}
+    for batch in batches:
+        for r in batch:
+            dispatched.setdefault(_group(r), []).append(r.rid)
+    for group, rids in dispatched.items():
+        expected = [
+            rid for rid, req in sorted(admitted.items())
+            if _group(req) == group and outcome.get(rid) == "dispatched"
+        ]
+        assert rids == expected
+
+
+def test_duplicate_rid_rejected():
+    q = RequestQueue(capacity=4)
+    q.submit(ServeRequest(rid=1, key="k"))
+    with pytest.raises(ValueError, match="duplicate"):
+        q.submit(ServeRequest(rid=1, key="k"))
+
+
+def test_bad_parameters():
+    with pytest.raises(ValueError):
+        RequestQueue(capacity=0)
+    with pytest.raises(ValueError):
+        BatchPolicy(max_batch=0)
+    with pytest.raises(ValueError):
+        ServeRequest(rid=0, key="k", kind="what")
+
+
+def test_solve_tolerances_do_not_mix():
+    q = RequestQueue(capacity=8)
+    q.submit(ServeRequest(rid=0, key="k", kind="solve", rtol=1e-6))
+    q.submit(ServeRequest(rid=1, key="k", kind="solve", rtol=1e-3))
+    q.submit(ServeRequest(rid=2, key="k", kind="solve", rtol=1e-6))
+    b = MicroBatcher(BatchPolicy(max_batch=8))
+    first = b.next_batch(q)
+    assert [r.rid for r in first] == [0, 2]
+    assert [r.rid for r in b.next_batch(q)] == [1]
+
+
+def test_spmv_and_solve_do_not_mix():
+    q = RequestQueue(capacity=8)
+    q.submit(ServeRequest(rid=0, key="k", kind="spmv"))
+    q.submit(ServeRequest(rid=1, key="k", kind="solve"))
+    q.submit(ServeRequest(rid=2, key="k", kind="spmv"))
+    b = MicroBatcher(BatchPolicy(max_batch=8))
+    assert [r.rid for r in b.next_batch(q)] == [0, 2]
+    assert [r.rid for r in b.next_batch(q)] == [1]
