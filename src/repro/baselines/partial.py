@@ -105,6 +105,40 @@ class PartialAssemblyOperator(EbeOperatorBase):
                 "spmv.emv.modeled",
             )
 
+    def _emv_sweep_multi(self, UF, VF, sl) -> None:
+        """GEMM-mode sweep: the quadrature contractions carry the column
+        axis ``k`` through every einsum, so the stored geometric factors
+        are streamed once for all k columns (the partial-assembly
+        analogue of the BLAS3 elemental GEMM)."""
+        idx = self.e2l_dofs[sl]
+        if idx.shape[0] == 0:
+            return
+        k = UF.shape[1]
+        if self._ws is not None:
+            from repro.core.kernels import gather_element_vectors
+
+            ue, _ = self._ws.multi_views(idx.shape[0], k)
+            gather_element_vectors(UF, idx, out=ue)
+        else:
+            ue = UF[idx]  # (E, nd, k)
+        if isinstance(self.operator, PoissonOperator):
+            ve = self._apply_poisson_multi(sl, ue)
+        else:
+            ve = self._apply_elasticity_multi(sl, ue)
+        seg = self._segment_for(sl) if self._ws is not None else None
+        if seg is not None:
+            seg.add_into_multi(VF, ve)
+        else:
+            from repro.core.kernels import accumulate_element_vectors
+
+            accumulate_element_vectors(VF, idx, ve)
+        if self.modeled_rate_gflops:
+            flops = self.flops_per_spmv() / max(self.n_local_elements, 1)
+            self.comm.advance(
+                idx.shape[0] * k * flops / (self.modeled_rate_gflops * 1e9),
+                "spmv.emv.modeled",
+            )
+
     def _apply_poisson(self, sl, ue):
         # grad in reference space: g[e,q,d] = dN[q,n,d] u[e,n]
         g = np.einsum("qnd,en->eqd", self._dN, ue, optimize=True)
@@ -136,6 +170,32 @@ class PartialAssemblyOperator(EbeOperatorBase):
         dN_phys = np.einsum("qnd,eqkd->eqnk", self._dN, invJ, optimize=True)
         ve = np.einsum("eqnk,eqik->eni", dN_phys, sigma, optimize=True)
         return ve.reshape(E, nd)
+
+    def _apply_poisson_multi(self, sl, ue):
+        # the single-RHS contractions with a trailing column axis c=k
+        g = np.einsum("qnd,enc->eqdc", self._dN, ue, optimize=True)
+        f = np.einsum("eqkl,eqlc->eqkc", self._G[sl], g, optimize=True)
+        return np.einsum("qnk,eqkc->enc", self._dN, f, optimize=True)
+
+    def _apply_elasticity_multi(self, sl, ue):
+        op: ElasticityOperator = self.operator
+        lam, mu = op.material.lam, op.material.mu
+        invJ = self._invJ[sl]
+        wd = self._wd[sl]
+        E, nd, k = ue.shape
+        n = self.etype.n_nodes
+        uen = ue.reshape(E, n, 3, k)
+        gref = np.einsum("qnd,enic->eqidc", self._dN, uen, optimize=True)
+        H = np.einsum("eqidc,eqkd->eqikc", gref, invJ, optimize=True)
+        tr = np.einsum("eqiic->eqc", H)
+        sym = 0.5 * (H + np.swapaxes(H, 2, 3))
+        sigma = 2.0 * mu * sym
+        i3 = np.arange(3)
+        sigma[:, :, i3, i3, :] += lam * tr[:, :, None, :]
+        sigma *= wd[:, :, None, None, None]
+        dN_phys = np.einsum("qnd,eqkd->eqnk", self._dN, invJ, optimize=True)
+        ve = np.einsum("eqnk,eqikc->enic", dN_phys, sigma, optimize=True)
+        return ve.reshape(E, nd, k)
 
     # ------------------------------------------------------------------
     # preconditioner support: build Ke on demand (setup-time only)

@@ -25,6 +25,7 @@ from repro.core.kernels import (
     accumulate_element_vectors,
     emv_columns,
     gather_element_vectors,
+    resolve_mode,
 )
 from repro.core.maps import NodeMaps, build_node_maps
 from repro.core.scatter import (
@@ -147,6 +148,10 @@ class EbeOperatorBase:
         # work multivectors back apply_owned_multi (mirrors _work_u/_work_v)
         self._halo_multi: dict[int, HaloExchange] = {}
         self._work_multi: dict[int, tuple] = {}
+        # mode="auto" crossover for the BLAS3 multi-RHS path; None means
+        # repro.core.kernels.DEFAULT_K_MIN (set a calibrated value from
+        # BENCH_kernels.json's config.gemm_k_min_crossover to override)
+        self.gemm_k_min: int | None = None
 
     # -- construction helpers -------------------------------------------
 
@@ -219,6 +224,47 @@ class EbeOperatorBase:
             accumulate_element_vectors(vf, idx, ve)
         flops = idx.shape[0] * self.operator.emv_flops(self.etype)
         self.comm.obs.incr("spmv.elements", idx.shape[0])
+        self.comm.obs.incr("spmv.flops", flops)
+        if self.modeled_rate_gflops:
+            self.comm.advance(
+                flops / (self.modeled_rate_gflops * 1e9), "spmv.emv.modeled"
+            )
+
+    def _emv_sweep_multi(
+        self, UF: np.ndarray, VF: np.ndarray, sl: slice
+    ) -> None:
+        """One BLAS3 elemental sweep over ``(n_total*ndpn, k)`` dof
+        multivectors (``mode="gemm"``).
+
+        The gathered ``(E, nd, k)`` block is multiplied by the element-
+        matrix batch in ONE batched ``np.matmul`` — a dense
+        ``(nd, nd) @ (nd, k)`` GEMM per element — and scattered with the
+        k-column segment sum.  Element matrices are produced once for all
+        k columns (for the matrix-free operator this also amortizes the
+        recompute k-fold).  Counters and the modeled compute time advance
+        by the same k-scaled totals as k oracle sweeps, so virtual-time
+        studies stay mode-independent.
+        """
+        idx = self.e2l_dofs[sl]
+        if idx.shape[0] == 0:
+            return
+        k = UF.shape[1]
+        ke = self._element_matrices(sl)
+        if self._ws is not None:
+            ue, ve = self._ws.multi_views(idx.shape[0], k)
+            gather_element_vectors(UF, idx, out=ue)
+            self.kernel(ke, ue, out=ve, mode="gemm")
+            seg = self._segment_for(sl)
+            if seg is not None:
+                seg.add_into_multi(VF, ve)
+            else:
+                accumulate_element_vectors(VF, idx, ve)
+        else:
+            ue = gather_element_vectors(UF, idx)
+            ve = self.kernel(ke, ue, mode="gemm")
+            accumulate_element_vectors(VF, idx, ve)
+        flops = idx.shape[0] * self.operator.emv_flops(self.etype) * k
+        self.comm.obs.incr("spmv.elements", idx.shape[0] * k)
         self.comm.obs.incr("spmv.flops", flops)
         if self.modeled_rate_gflops:
             self.comm.advance(
@@ -345,35 +391,53 @@ class EbeOperatorBase:
         u: DistributedMultiVector,
         v: DistributedMultiVector,
         overlap: bool = True,
+        mode: str = "auto",
     ) -> DistributedMultiVector:
         """Batched multi-RHS SPMV ``V = K U`` (Algorithm 2 over ``k``
         right-hand sides at once).
 
-        Column ``j`` of the result is **bitwise identical** to
-        ``spmv`` applied to column ``j`` alone: each column runs through
-        the exact single-RHS elemental sweep (same workspace, same
-        kernels, same accumulation order).  The batching win is in the
-        communication layer — ONE ghost exchange of packed ``ndpn * k``
-        node rows replaces ``k`` exchanges, amortizing per-message
-        latency across the batch (the multivector analogue of the
-        paper's batched-EMV rationale; per-scalar ghost copies and
+        Under ``mode="oracle"`` column ``j`` of the result is **bitwise
+        identical** to ``spmv`` applied to column ``j`` alone: each
+        column runs through the exact single-RHS elemental sweep (same
+        workspace, same kernels, same accumulation order).  The batching
+        win is in the communication layer — ONE ghost exchange of packed
+        ``ndpn * k`` node rows replaces ``k`` exchanges, amortizing
+        per-message latency across the batch (the multivector analogue
+        of the paper's batched-EMV rationale; per-scalar ghost copies and
         accumulations are independent, so packing cannot change bits).
+
+        Under ``mode="gemm"`` the elemental stage additionally runs as
+        batched BLAS3 GEMMs over the whole ``(E, nd, k)`` block
+        (:meth:`_emv_sweep_multi`): each stored/recomputed element matrix
+        is streamed through memory once for all k columns instead of k
+        times.  Results match the oracle to rounding
+        (:func:`repro.core.kernels.gemm_equivalence_rtol`), not bitwise.
+        ``mode="auto"`` (the default) picks GEMM when
+        ``k >= self.gemm_k_min`` (``None`` → ``DEFAULT_K_MIN``).
         """
         comm = self.comm
         k = u.k
+        gemm = resolve_mode(mode, k, self.gemm_k_min) == "gemm"
         halo = self._halo_for(k)
         t0 = comm.vtime
         v.data[:] = 0.0
         un, vn = u.node_view, v.node_view
         uf, vf = u.dof_view, v.dof_view
+
+        def sweep(sl: slice) -> None:
+            if gemm:
+                self._emv_sweep_multi(uf, vf, sl)
+            else:
+                for j in range(k):
+                    self._emv_sweep(uf[:, j], vf[:, j], sl)
+
         if overlap:
             if halo is not None:
                 reqs = halo.scatter_begin(comm, un)
             else:
                 reqs = scatter_begin(comm, un, self.cmaps)
             with comm.compute("spmv.emv.independent"):
-                for j in range(k):
-                    self._emv_sweep(uf[:, j], vf[:, j], self._sl_indep)
+                sweep(self._sl_indep)
             tw = comm.vtime
             if halo is not None:
                 halo.scatter_end(comm, un, reqs)
@@ -383,8 +447,7 @@ class EbeOperatorBase:
             if self._check_ghosts:
                 self._verify_ghosts(u)
             with comm.compute("spmv.emv.dependent"):
-                for j in range(k):
-                    self._emv_sweep(uf[:, j], vf[:, j], self._sl_dep)
+                sweep(self._sl_dep)
         else:
             tw = comm.vtime
             if halo is not None:
@@ -395,8 +458,7 @@ class EbeOperatorBase:
             if self._check_ghosts:
                 self._verify_ghosts(u)
             with comm.compute("spmv.emv.all"):
-                for j in range(k):
-                    self._emv_sweep(uf[:, j], vf[:, j], self._sl_all)
+                sweep(self._sl_all)
         tg = comm.vtime
         if halo is not None:
             halo.gather_end(comm, vn, halo.gather_begin(comm, vn))
@@ -408,13 +470,18 @@ class EbeOperatorBase:
         self.spmv_count += k
         return v
 
-    def apply_owned_multi(self, X: np.ndarray, copy: bool = True) -> np.ndarray:
+    def apply_owned_multi(
+        self, X: np.ndarray, copy: bool = True, mode: str = "auto"
+    ) -> np.ndarray:
         """Multi-RHS :meth:`apply_owned`: applies the operator to the
         ``(n_owned_dofs, k)`` columns of ``X`` in one batched product.
 
-        Column ``j`` of the result is bitwise identical to
-        ``apply_owned(X[:, j])``.  Work multivectors are cached per
-        distinct ``k``; the aliasing contract matches ``apply_owned``
+        Under the resolved ``"oracle"`` mode column ``j`` of the result
+        is bitwise identical to ``apply_owned(X[:, j])``; the resolved
+        ``"gemm"`` mode (``auto`` picks it for ``k >= gemm_k_min``) runs
+        the BLAS3 elemental stage and matches to rounding (see
+        :meth:`spmv_multi`).  Work multivectors are cached per distinct
+        ``k``; the aliasing contract matches ``apply_owned``
         (``copy=False`` returns a view overwritten by the next call with
         the same ``k``).
         """
@@ -430,7 +497,7 @@ class EbeOperatorBase:
             )
         U, V = pair
         U.set_owned(X)
-        self.spmv_multi(U, V)
+        self.spmv_multi(U, V, mode=mode)
         owned = V.owned_matrix
         return np.array(owned, copy=True) if copy else owned
 

@@ -13,6 +13,26 @@ indexing.  Two kernels are provided:
 Both kernels accept ``out=`` (and ``columns`` a preallocated ``tmp=``
 and an optional column-major matrix batch ``columns=``) so the operator
 hot path can run allocation-free against an :class:`EmvWorkspace`.
+
+Multi-RHS execution modes
+-------------------------
+A multivector batch ``ue`` of shape ``(E, nd, k)`` can be processed two
+ways, selected by ``mode``:
+
+* ``"oracle"`` — per-column single-RHS kernel calls: column ``j`` of the
+  result is **bitwise identical** to the single-RHS product of column
+  ``j``.  This is the verification reference the serve micro-batcher's
+  answer-independence contract stands on.
+* ``"gemm"`` — the BLAS3 fast path: the whole ``(E, nd, k)`` block is
+  computed with ONE batched ``np.matmul`` (a dense GEMM per element over
+  the ``(nd, k)`` column block — the distributed matrix-multivector
+  formulation of Panigrahi et al., arXiv:2208.07129).  BLAS may
+  accumulate each dot in a different order than the gemv path, so the
+  result agrees with the oracle only to a derived rounding bound
+  (:func:`gemm_equivalence_rtol`), never bitwise.
+* ``"auto"`` — ``gemm`` when ``k >= k_min`` (default
+  :data:`DEFAULT_K_MIN`; calibrate with the kernels microbench), else
+  ``oracle``.  Resolved by :func:`resolve_mode`.
 """
 
 from __future__ import annotations
@@ -25,14 +45,69 @@ __all__ = [
     "emv_einsum",
     "emv_columns",
     "EMV_KERNELS",
+    "EMV_MODES",
+    "DEFAULT_K_MIN",
     "EmvWorkspace",
     "gather_element_vectors",
     "accumulate_element_vectors",
+    "gemm_equivalence_rtol",
+    "resolve_mode",
 ]
+
+#: recognized multi-RHS execution modes
+EMV_MODES = ("oracle", "gemm", "auto")
+
+#: conservative default crossover for ``mode="auto"``: GEMM is selected
+#: for k >= DEFAULT_K_MIN columns.  The kernels microbench
+#: (``python -m repro.harness bench --suite kernels``) measures the real
+#: crossover on the current machine and writes it into
+#: ``BENCH_kernels.json`` as ``config.gemm_k_min_crossover`` so serving
+#: deployments can load a calibrated threshold instead of this constant.
+DEFAULT_K_MIN = 8
+
+
+def resolve_mode(mode: str, k: int, k_min: int | None = None) -> str:
+    """Resolve an execution mode to ``"oracle"`` or ``"gemm"``.
+
+    ``"auto"`` picks ``"gemm"`` when ``k >= k_min`` (``k_min`` defaults
+    to :data:`DEFAULT_K_MIN`); explicit modes pass through unchanged.
+    """
+    if mode not in EMV_MODES:
+        raise ValueError(
+            f"unknown EMV mode {mode!r} (expected one of {EMV_MODES})"
+        )
+    if mode != "auto":
+        return mode
+    threshold = DEFAULT_K_MIN if k_min is None else int(k_min)
+    return "gemm" if k >= threshold else "oracle"
+
+
+def gemm_equivalence_rtol(
+    nd: int, k: int = 1, n_accum: int | None = None, dtype=np.float64
+) -> float:
+    """Derived (not hand-tuned) bound on the GEMM-vs-oracle difference.
+
+    Each output dof is an accumulation of at most ``n_accum`` elemental
+    contributions, each a dot product of length ``nd``.  Sequential
+    summation of ``L`` terms carries a forward error of at most
+    ``gamma_L * sum|terms|`` with ``gamma_L ~= L * eps``; the GEMM and
+    gemv paths are two such orderings, so their difference is bounded by
+    ``2 * gamma_L`` relative to the *magnitude* sum ``|K| |u|`` (the
+    product with all operands replaced by their absolute values).  The
+    ``k`` term adds headroom for taking the max over the ``k``
+    independent columns.  ``n_accum`` defaults to ``nd`` (the dense
+    element-batch case).
+    """
+    eps = float(np.finfo(dtype).eps)
+    length = int(nd) + int(n_accum if n_accum is not None else nd)
+    return 2.0 * (length + int(k)) * eps
 
 
 def emv_einsum(
-    ke: np.ndarray, ue: np.ndarray, out: np.ndarray | None = None
+    ke: np.ndarray,
+    ue: np.ndarray,
+    out: np.ndarray | None = None,
+    mode: str = "oracle",
 ) -> np.ndarray:
     """``ve[e] = Ke[e] @ ue[e]`` over the whole batch at once (batched
     BLAS gemv via ``matmul``).
@@ -42,15 +117,19 @@ def emv_einsum(
     result bits are identical either way.
 
     A multivector batch ``ue`` of shape ``(E, nd, k)`` is accepted and
-    produces the ``(E, nd, k)`` products.  Each column is computed by the
-    exact single-RHS kernel call on a contiguous copy — NOT by one batched
-    ``(nd, k)`` gemm, whose BLAS accumulation order could differ from the
-    gemv path — so ``emv_einsum(ke, ue)[:, :, j]`` is bitwise identical
-    to ``emv_einsum(ke, ue[:, :, j])``.  The multi-RHS win is upstream:
-    one gather/halo exchange for all ``k`` columns and one streaming pass
-    over the element-matrix batch per sweep.
+    produces the ``(E, nd, k)`` products.  Under ``mode="oracle"`` (the
+    default) each column is computed by the exact single-RHS kernel call
+    on a contiguous copy, so ``emv_einsum(ke, ue)[:, :, j]`` is bitwise
+    identical to ``emv_einsum(ke, ue[:, :, j])``.  Under ``mode="gemm"``
+    the whole block is ONE batched ``np.matmul`` — a dense
+    ``(nd, nd) @ (nd, k)`` GEMM per element — which reuses each loaded
+    ``Ke`` row across all k columns (BLAS3 arithmetic intensity) but
+    agrees with the oracle only to :func:`gemm_equivalence_rtol`.
+    ``mode`` is ignored for 2-D ``ue`` (single RHS has one ordering).
     """
     if ue.ndim == 3:
+        if resolve_mode(mode, ue.shape[2]) == "gemm":
+            return np.matmul(ke, ue, out=out)
         return _emv_multi(emv_einsum, ke, ue, out)
     if out is None:
         return np.matmul(ke, ue[:, :, None])[:, :, 0]
@@ -64,6 +143,7 @@ def emv_columns(
     out: np.ndarray | None = None,
     tmp: np.ndarray | None = None,
     columns: np.ndarray | None = None,
+    mode: str = "oracle",
 ) -> np.ndarray:
     """Column-major sum-of-scaled-columns EMV (paper eq. 4).
 
@@ -84,8 +164,16 @@ def emv_columns(
         the precomputed contiguous columns instead is the paper's SIMD
         layout.  The multiply operands and the add order are unchanged,
         so the result is bitwise identical with or without it.
+    mode:
+        Multi-RHS execution mode (see module docstring).  ``"gemm"``
+        computes the 3-D batch with one batched ``np.matmul`` — the
+        column formulation degenerates to a GEMM when the right operand
+        is a block, so there is no separate column-major BLAS3 variant.
     """
     if ue.ndim == 3:
+        if resolve_mode(mode, ue.shape[2]) == "gemm":
+            return np.matmul(ke, ue, out=out)
+
         # per-column single-RHS calls (see emv_einsum): bitwise identity
         # per column is the contract the serve micro-batcher relies on
         def _single(ke_, ue_, out_=None):
@@ -143,9 +231,13 @@ class EmvWorkspace:
     * ``ue`` — gathered element input vectors, ``(n_elements, nd)``;
     * ``ve`` — elemental products, same shape;
     * ``tmp`` — per-column FMA scratch for the ``columns`` kernel.
+
+    The GEMM multi-RHS path widens the scratch to ``(n_elements, nd, k)``
+    pairs, cached per ``k`` on first use (:meth:`multi_views`) so a
+    steady-state sweep over a repeating batch width allocates nothing.
     """
 
-    __slots__ = ("n_elements", "nd", "ue", "ve", "_tmp")
+    __slots__ = ("n_elements", "nd", "ue", "ve", "_tmp", "_multi")
 
     def __init__(self, n_elements: int, nd: int):
         self.n_elements = int(n_elements)
@@ -153,6 +245,7 @@ class EmvWorkspace:
         self.ue = np.empty((self.n_elements, self.nd))
         self.ve = np.empty((self.n_elements, self.nd))
         self._tmp: np.ndarray | None = None  # columns kernel only
+        self._multi: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
     @property
     def tmp(self) -> np.ndarray:
@@ -166,6 +259,21 @@ class EmvWorkspace:
         """Leading-slice views ``(ue, ve)`` for a sweep of ``n``
         elements."""
         return self.ue[:n], self.ve[:n]
+
+    def multi_views(self, n: int, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Leading-slice views ``(ue, ve)`` of ``(n, nd, k)`` multivector
+        scratch for a GEMM sweep of ``n`` elements over ``k`` columns.
+
+        The full-size ``(n_elements, nd, k)`` buffers are allocated on
+        the first call for a given ``k`` and reused afterwards.
+        """
+        if k not in self._multi:
+            self._multi[k] = (
+                np.empty((self.n_elements, self.nd, k)),
+                np.empty((self.n_elements, self.nd, k)),
+            )
+        ue, ve = self._multi[k]
+        return ue[:n], ve[:n]
 
 
 def gather_element_vectors(

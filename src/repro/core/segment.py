@@ -44,11 +44,14 @@ __all__ = ["SegmentScatter"]
 
 try:  # SciPy >= 1.8 (private but stable; used by scipy.sparse itself)
     from scipy.sparse._sparsetools import csr_matvec as _csr_matvec
+    from scipy.sparse._sparsetools import csr_matvecs as _csr_matvecs
 except ImportError:  # pragma: no cover - exercised via force_fallback
     try:
         from scipy.sparse.sparsetools import csr_matvec as _csr_matvec
+        from scipy.sparse.sparsetools import csr_matvecs as _csr_matvecs
     except ImportError:
         _csr_matvec = None
+        _csr_matvecs = None
 
 
 class SegmentScatter:
@@ -80,12 +83,16 @@ class SegmentScatter:
         "_segids",
         "_sorted",
         "_use_csr",
+        "_multi",
     )
 
     def __init__(self, idx: np.ndarray, force_fallback: bool = False):
         flat = np.ascontiguousarray(idx, dtype=INDEX_DTYPE).reshape(-1)
         self.m = int(flat.size)
         self._use_csr = (_csr_matvec is not None) and not force_fallback
+        # per-k (seg, acc, sorted) scratch for add_into_multi, cached on
+        # first use so steady-state multi-RHS sweeps allocate nothing
+        self._multi: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
         if self.m == 0:
             self.touched = np.empty(0, dtype=INDEX_DTYPE)
             self.indptr = np.zeros(1, dtype=np.int32)
@@ -175,3 +182,66 @@ class SegmentScatter:
         np.add(self._acc, self._seg, out=self._acc)
         out[self.touched] = self._acc
         return out
+
+    def add_into_multi(self, out: np.ndarray, vals: np.ndarray) -> np.ndarray:
+        """Accumulate a k-column value batch into a ``(n_dofs, k)``
+        destination at the frozen index structure; returns ``out``.
+
+        ``vals`` may have any shape whose C-order flattening of all but
+        the trailing axis yields ``(m, k)`` rows aligned with the 1-D
+        flatten (e.g. ``(E, nd, k)`` element products).  All k columns go
+        through ONE CSR matvecs call — no per-column Python loop — and
+        each column's arithmetic is the same occurrence-order segmented
+        sum as :meth:`add_into` on that column alone (the C kernel sums
+        each row's terms sequentially per column), so the result is
+        bitwise identical per column to the 1-D path.
+
+        Allocation-free once the per-``k`` scratch exists (first call
+        for a given ``k`` allocates it).
+        """
+        k = int(vals.shape[-1])
+        if out.ndim != 2 or out.shape[1] != k:
+            raise ValueError(
+                f"destination/value column mismatch: out has shape "
+                f"{out.shape}, vals end in k={k}"
+            )
+        if self.m == 0:
+            return out
+        flat_vals = vals.reshape(self.m, k)
+        if not flat_vals.flags.c_contiguous:
+            flat_vals = np.ascontiguousarray(flat_vals)
+        if self.touched[-1] >= out.shape[0]:
+            raise IndexError(
+                f"SegmentScatter: destination too small (max touched dof "
+                f"{int(self.touched[-1])}, out has {out.shape[0]} entries)"
+            )
+        seg, acc, srt = self._multi_scratch(k)
+        seg.fill(0.0)
+        if self._use_csr:
+            _csr_matvecs(
+                self.n_touched,
+                self.m,
+                k,
+                self.indptr,
+                self.indices,
+                self._data,
+                flat_vals,
+                seg,
+            )
+        else:
+            np.take(flat_vals, self.indices, axis=0, out=srt, mode="clip")
+            np.add.at(seg, self._segids, srt)
+        np.take(out, self.touched, axis=0, out=acc, mode="clip")
+        np.add(acc, seg, out=acc)
+        out[self.touched] = acc
+        return out
+
+    def _multi_scratch(self, k: int):
+        if k not in self._multi:
+            kt = self.n_touched
+            self._multi[k] = (
+                np.empty((kt, k)),
+                np.empty((kt, k)),
+                np.empty((self.m if not self._use_csr else 0, k)),
+            )
+        return self._multi[k]

@@ -206,19 +206,21 @@ class HymvGpuOperator(HymvOperator):
         self.spmv_count += 1
         return v
 
-    def spmv_multi(self, u, v, overlap: bool = True):
+    def spmv_multi(self, u, v, overlap: bool = True, mode: str = "auto"):
         """Batched multi-RHS device SPMV.
 
-        Numerics are the base-class multi path (bitwise identical per
-        column to single-RHS — the device emulation computes with the
-        same host kernels).  The modeled device time is where batching
-        pays: the multivector pipeline streams the element-matrix batch
-        from device memory **once** for all ``k`` columns (``Ke`` bytes
-        amortized k-fold — the MAGMA-style batched-kernel headroom the
-        paper's related work points at), while H2D/D2H vector traffic
-        and kernel flops scale with ``k``.
+        Numerics are the base-class multi path (``mode`` forwarded: the
+        resolved oracle is bitwise identical per column to single-RHS,
+        the resolved gemm matches to rounding — the device emulation
+        computes with the same host kernels either way).  The modeled
+        device time is where batching pays: the multivector pipeline
+        streams the element-matrix batch from device memory **once** for
+        all ``k`` columns (``Ke`` bytes amortized k-fold — the
+        MAGMA-style batched-kernel headroom the paper's related work
+        points at), while H2D/D2H vector traffic and kernel flops scale
+        with ``k``; the modeled durations are mode-independent.
         """
-        v = super().spmv_multi(u, v, overlap=overlap)
+        v = super().spmv_multi(u, v, overlap=overlap, mode=mode)
         E = self.n_local_elements
         if E:
             comm = self.comm

@@ -34,7 +34,7 @@ import numpy as np
 from repro.obs.instrumentation import Instrumentation, percentile
 from repro.obs.schema import new_bench_doc, validate_bench_doc
 
-__all__ = ["KernelCase", "KERNEL_CASES", "run_kernels_suite"]
+__all__ = ["KernelCase", "KERNEL_CASES", "MULTIRHS_KS", "run_kernels_suite"]
 
 #: peak-heap growth (bytes) attributable to interpreter-level object
 #: churn (boxed floats and dict entries from the instrumentation layer),
@@ -45,6 +45,9 @@ ALLOC_FLOOR_BYTES = 16384
 
 #: EMV kernels exercised per case
 KERNELS = ("einsum", "columns")
+
+#: batch widths exercised by the multi-RHS (BLAS3) suite
+MULTIRHS_KS = (1, 2, 8, 32)
 
 
 class _NullComm:
@@ -239,6 +242,129 @@ def _run_case_kernel(
     return rows
 
 
+def _time_spmv_multi(A, U, V, mode: str, n_mult: int, repeats: int) -> list[float]:
+    """Per-``spmv_multi`` wall seconds, one sample per repeat."""
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(n_mult):
+            A.spmv_multi(U, V, mode=mode)
+        samples.append((time.perf_counter() - t0) / n_mult)
+    return samples
+
+
+def _measure_alloc_multi(A, U, V, mode: str, n_mult: int) -> int:
+    """Peak heap growth (bytes) over post-warmup ``spmv_multi`` calls."""
+    tracemalloc.start()
+    try:
+        A.spmv_multi(U, V, mode=mode)  # warm tracemalloc on this path
+        tracemalloc.reset_peak()
+        base = tracemalloc.get_traced_memory()[0]
+        for _ in range(n_mult):
+            A.spmv_multi(U, V, mode=mode)
+        peak = tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+    return max(0, int(peak - base))
+
+
+def _run_case_multirhs(
+    case: KernelCase, repeats: int, verbose: bool
+) -> tuple[list[dict[str, Any]], int | None]:
+    """GEMM-vs-oracle multi-RHS rows for one case (einsum HYMV operator).
+
+    Three machine-checked properties per batch width ``k``:
+
+    * **equivalence** — the GEMM product must match the per-column oracle
+      within :func:`repro.core.kernels.gemm_equivalence_rtol` of the
+      magnitude scale ``|K| |u|`` (computed by running the oracle on an
+      operator whose element matrices are replaced by their absolute
+      values), asserted before any timing is trusted;
+    * **speed** — ``*-gemm`` rows carry ``speedup_vs_reference``, the
+      best-of-repeats ratio of the per-column oracle over the batched
+      GEMM at the same ``k``;
+    * **zero allocation** — both execution modes are ``tracemalloc``-
+      bounded in steady state (``spmv.bytes_alloc`` floored to 0 below
+      ``ALLOC_FLOOR_BYTES``), CI-gated like the single-RHS rows.
+
+    Returns ``(rows, k_min_crossover)`` where the crossover is the
+    smallest benchmarked ``k`` at which GEMM beats the oracle (``None``
+    when it never does on this machine).
+    """
+    from repro.core.kernels import gemm_equivalence_rtol
+
+    spec = case.make_spec()
+    ops = {
+        "oracle": _build_operator(spec, "einsum", workspace=True),
+        "gemm": _build_operator(spec, "einsum", workspace=True),
+    }
+    # magnitude-scale operator: |K| |u| bounds every intermediate of both
+    # accumulation orders, so the derived rtol is a rigorous bound
+    A_abs = _build_operator(spec, "einsum", workspace=True)
+    A_abs.ke[:] = np.abs(A_abs.ke)
+    nd = A_abs.e2l_dofs.shape[1]
+
+    rng = np.random.default_rng(1234)
+    rows: list[dict[str, Any]] = []
+    speedups: dict[int, float] = {}
+    for k in MULTIRHS_KS:
+        X = rng.standard_normal((ops["oracle"].n_dofs_owned, k))
+        # --- equivalence gate (before any timing is trusted) -----------
+        Y = {
+            mode: A.apply_owned_multi(X, mode=mode) for mode, A in ops.items()
+        }
+        scale = A_abs.apply_owned_multi(np.abs(X), mode="oracle")
+        rtol = gemm_equivalence_rtol(nd, k=k)
+        err = np.abs(Y["gemm"] - Y["oracle"])
+        bound = rtol * np.maximum(scale, np.finfo(np.float64).tiny)
+        if not np.all(err <= bound):
+            worst = float(np.max(err / bound))
+            raise RuntimeError(
+                f"{case.name}/multirhs k={k}: GEMM product exceeds the "
+                f"derived oracle-equivalence bound (worst {worst:.3g}x "
+                f"of rtol {rtol:.3g})"
+            )
+        n_mult = max(2, case.n_spmv // k)
+        best = {}
+        for mode, A in ops.items():
+            U, V = A.new_multivector(k), A.new_multivector(k)
+            U.set_owned(X)
+            A.spmv_multi(U, V, mode=mode)  # warmup 1
+            A.spmv_multi(U, V, mode=mode)  # warmup 2 (steady state)
+            samples = _time_spmv_multi(A, U, V, mode, n_mult, repeats)
+            raw_alloc = _measure_alloc_multi(A, U, V, mode, n_mult)
+            alloc = 0 if raw_alloc <= ALLOC_FLOOR_BYTES else raw_alloc
+            counters = dict(A.comm.obs.snapshot()["counters"])
+            counters["spmv.bytes_alloc"] = float(alloc)
+            counters["spmv.bytes_alloc_raw"] = float(raw_alloc)
+            best[mode] = min(samples)
+            rows.append(
+                {
+                    "case": case.name,
+                    "method": f"hymv-einsum-multirhs-k{k}-{mode}",
+                    "n_parts": 1,
+                    "n_dofs": spec.n_dofs,
+                    "n_spmv": n_mult,
+                    "k": k,
+                    "phases": {"spmv.total": _phase_stats(samples)},
+                    "counters": counters,
+                    "gemm_equivalence_rtol": rtol,
+                }
+            )
+        # best-of-repeats ratio on the gemm row (see single-RHS rationale)
+        speedups[k] = best["oracle"] / best["gemm"]
+        rows[-1]["speedup_vs_reference"] = speedups[k]
+        if verbose:
+            print(
+                f"[bench]   multirhs k={k:>2}: oracle "
+                f"{best['oracle'] * 1e3:.3f} ms, gemm "
+                f"{best['gemm'] * 1e3:.3f} ms best-of-{repeats} "
+                f"({speedups[k]:.2f}x)"
+            )
+    crossed = [k for k in MULTIRHS_KS if speedups[k] > 1.0]
+    return rows, (min(crossed) if crossed else None)
+
+
 def run_kernels_suite(
     repeats: int = 5,
     cases: tuple[KernelCase, ...] = KERNEL_CASES,
@@ -261,5 +387,21 @@ def run_kernels_suite(
         for kernel in KERNELS:
             doc["results"].extend(
                 _run_case_kernel(case, kernel, repeats, verbose)
+            )
+    # multi-RHS (BLAS3) suite on the first case: GEMM-vs-oracle rows plus
+    # the calibrated crossover width the serve batcher can load instead of
+    # the hard-coded DEFAULT_K_MIN (see repro.serve.loadgen.load_calibrated_k_min)
+    if cases:
+        if verbose:
+            print(f"[bench] {cases[0].name} multirhs ...", flush=True)
+        rows, k_min = _run_case_multirhs(cases[0], repeats, verbose)
+        doc["results"].extend(rows)
+        doc["config"]["multirhs_ks"] = list(MULTIRHS_KS)
+        doc["config"]["gemm_k_min_crossover"] = k_min
+        if verbose:
+            print(
+                "[bench] gemm k_min crossover: "
+                + (f"k={k_min}" if k_min is not None else
+                   "none measured (oracle fastest at every k)")
             )
     return validate_bench_doc(doc)

@@ -20,6 +20,7 @@ __all__ = [
     "BENCH_SCHEMA",
     "CHAOS_SCHEMA",
     "SERVE_SCHEMA",
+    "SERVE_SCHEMA_V1",
     "SchemaError",
     "machine_fingerprint",
     "new_bench_doc",
@@ -38,8 +39,13 @@ BENCH_SCHEMA = "repro.bench/1"
 CHAOS_SCHEMA = "repro.chaos/1"
 
 #: Serve-report schema (``SERVE_report.json`` written by
-#: ``python -m repro.harness serve``).
-SERVE_SCHEMA = "repro.serve/1"
+#: ``python -m repro.harness serve``).  v2 adds the per-scenario
+#: ``modes`` histogram (execution mode each dispatched batch ran under:
+#: oracle / gemm / degraded).  v1 documents — identical minus that key —
+#: are still accepted on the read path for compatibility with reports
+#: produced before the BLAS3 fast path landed.
+SERVE_SCHEMA = "repro.serve/2"
+SERVE_SCHEMA_V1 = "repro.serve/1"
 
 _PHASE_STAT_KEYS = ("median", "min", "max", "repeats")
 _RESULT_REQUIRED = ("case", "method", "n_parts", "n_dofs", "phases", "counters")
@@ -205,10 +211,14 @@ def validate_serve_doc(doc: Any) -> dict[str, Any]:
     if not isinstance(doc, dict):
         raise SchemaError(f"serve doc must be an object, got {type(doc).__name__}")
     schema = doc.get("schema")
-    if schema != SERVE_SCHEMA:
+    if schema not in (SERVE_SCHEMA, SERVE_SCHEMA_V1):
         raise SchemaError(
-            f"unsupported schema {schema!r} (expected {SERVE_SCHEMA!r})"
+            f"unsupported schema {schema!r} (expected {SERVE_SCHEMA!r} "
+            f"or the legacy {SERVE_SCHEMA_V1!r})"
         )
+    required = _SERVE_SCENARIO_REQUIRED
+    if schema == SERVE_SCHEMA:  # v2: execution-mode histogram is mandatory
+        required = required + ("modes",)
     for key in ("machine", "config", "scenarios"):
         if key not in doc:
             raise SchemaError(f"serve doc missing key {key!r}")
@@ -218,9 +228,11 @@ def validate_serve_doc(doc: Any) -> dict[str, Any]:
         where = f"scenarios[{i}]"
         if not isinstance(sc, dict):
             raise SchemaError(f"{where} must be an object")
-        for key in _SERVE_SCENARIO_REQUIRED:
+        for key in required:
             if key not in sc:
                 raise SchemaError(f"{where} missing key {key!r}")
+        if schema == SERVE_SCHEMA and not isinstance(sc["modes"], dict):
+            raise SchemaError(f"{where}.modes must be an object")
         for key in _SERVE_REQUEST_KEYS:
             if key not in sc["requests"]:
                 raise SchemaError(f"{where}.requests missing key {key!r}")

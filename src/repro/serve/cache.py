@@ -138,12 +138,13 @@ def _setup_program(comm, lmesh, spec, method, kernel, modeled_rate):
     }
 
 
-def _hat_multi(st, X):
-    """Dirichlet-projected multi-RHS operator, column-bitwise identical to
+def _hat_multi(st, X, mode="auto"):
+    """Dirichlet-projected multi-RHS operator; under the resolved oracle
+    mode column-bitwise identical to
     :func:`repro.solvers.constrained.dirichlet_system`'s ``apply_hat``."""
     Xp = X.copy()
     Xp[st["mask"], :] = 0.0
-    Y = st["A"].apply_owned_multi(Xp)
+    Y = st["A"].apply_owned_multi(Xp, mode=mode)
     Y[st["mask"], :] = X[st["mask"], :]
     return Y
 
@@ -164,11 +165,11 @@ def _hat_single(st, f):
     return apply_hat, b_hat
 
 
-def _apply_program(comm, st, Xr):
-    return st["A"].apply_owned_multi(Xr)
+def _apply_program(comm, st, Xr, mode="auto"):
+    return st["A"].apply_owned_multi(Xr, mode=mode)
 
 
-def _solve_program(comm, st, Fr, rtol, maxiter, degraded):
+def _solve_program(comm, st, Fr, rtol, maxiter, degraded, mode="auto"):
     k = Fr.shape[1]
     if degraded:
         # fault-aware degradation: per-column resilient CG (breakdown
@@ -191,8 +192,8 @@ def _solve_program(comm, st, Fr, rtol, maxiter, degraded):
     B_hat = Fr - st["Au0"][:, None]
     B_hat[st["mask"], :] = st["u0"][st["mask"], None]
     res = cg_multi(
-        comm, lambda X: _hat_multi(st, X), B_hat, apply_M=st["M"],
-        rtol=rtol, maxiter=maxiter,
+        comm, lambda X, mode=mode: _hat_multi(st, X, mode=mode), B_hat,
+        apply_M=st["M"], rtol=rtol, maxiter=maxiter, mode=mode,
     )
     X = np.column_stack([r.x for r in res])
     return {
@@ -305,9 +306,16 @@ class SolverContext:
 
     # ------------------------------------------------------------------
 
-    def apply_multi(self, X: np.ndarray) -> tuple[np.ndarray, float]:
-        """One batched SPMV of the raw operator; returns ``(Y, vtime)``."""
-        res, dt = self._run(_apply_program, self._split(X))
+    def apply_multi(
+        self, X: np.ndarray, mode: str = "auto"
+    ) -> tuple[np.ndarray, float]:
+        """One batched SPMV of the raw operator; returns ``(Y, vtime)``.
+
+        ``mode`` selects the multi-RHS execution mode (see
+        :mod:`repro.core.kernels`); the default ``"auto"`` keeps small
+        batches on the bitwise per-column oracle.
+        """
+        res, dt = self._run(_apply_program, self._split(X), mode=mode)
         return np.vstack(res), dt
 
     def solve_multi(
@@ -316,16 +324,17 @@ class SolverContext:
         rtol: float,
         maxiter: int = 2000,
         degraded: bool = False,
+        mode: str = "auto",
     ) -> tuple[dict, float]:
         """Batched Dirichlet-constrained CG solve; returns ``(out, vtime)``.
 
         ``out["x"]`` stacks the per-column solutions; ``degraded=True``
         switches to sequential single-RHS resilient CG (the fault-aware
-        path — slower, never wrong).
+        path — slower, never wrong; ``mode`` is then irrelevant).
         """
         res, dt = self._run(
             _solve_program, self._split(F),
-            rtol=rtol, maxiter=maxiter, degraded=degraded,
+            rtol=rtol, maxiter=maxiter, degraded=degraded, mode=mode,
         )
         return {
             "x": np.vstack([r["x"] for r in res]),

@@ -44,7 +44,13 @@ from repro.serve.cache import OperatorCache, ProblemKey
 from repro.serve.queue import ServeRequest
 from repro.serve.service import SolverService
 
-__all__ = ["Workload", "run_workload", "run_serve_suite", "main"]
+__all__ = [
+    "Workload",
+    "run_workload",
+    "run_serve_suite",
+    "load_calibrated_k_min",
+    "main",
+]
 
 #: SPMV answers must match the fault-free reference this tightly (the
 #: batched path is bitwise-identical per column, so anything above noise
@@ -71,6 +77,8 @@ class Workload:
     queue_capacity: int = 32
     cache_capacity: int = 2
     faults: FaultPlan | None = None
+    mode: str = "auto"  # multi-RHS execution mode per batch
+    k_min: int | None = None  # "auto" crossover (None -> DEFAULT_K_MIN)
 
     def describe(self) -> dict[str, Any]:
         return {
@@ -87,17 +95,28 @@ class Workload:
             "max_batch": self.max_batch,
             "queue_capacity": self.queue_capacity,
             "cache_capacity": self.cache_capacity,
+            "mode": self.mode,
+            "k_min": self.k_min,
             "keys": [k.fingerprint() for k in self.keys],
             "faults": self.faults.describe() if self.faults else None,
         }
 
 
-def run_workload(w: Workload, seed: int = 1234) -> dict[str, Any]:
-    """Simulate one scenario; returns a schema-conforming scenario dict."""
+def run_workload(
+    w: Workload, seed: int = 1234, k_min: int | None = None
+) -> dict[str, Any]:
+    """Simulate one scenario; returns a schema-conforming scenario dict.
+
+    ``k_min`` overrides the workload's ``auto`` crossover (e.g. a
+    calibrated value loaded from a kernels-bench document via
+    :func:`load_calibrated_k_min`); the workload's own ``k_min`` wins
+    when set, keeping checked-in scenario baselines deterministic.
+    """
     obs = Instrumentation(rank=-1)
     cache = OperatorCache(capacity=w.cache_capacity, obs=obs, faults=w.faults)
     service = SolverService(
-        cache, max_batch=w.max_batch, queue_capacity=w.queue_capacity
+        cache, max_batch=w.max_batch, queue_capacity=w.queue_capacity,
+        mode=w.mode, k_min=w.k_min if w.k_min is not None else k_min,
     )
     rng = np.random.default_rng(seed)
 
@@ -220,6 +239,9 @@ def run_workload(w: Workload, seed: int = 1234) -> dict[str, Any]:
         "batch_histogram": {
             str(k): v for k, v in sorted(service.batch_histogram.items())
         },
+        "modes": {
+            m: v for m, v in sorted(service.mode_histogram.items())
+        },
         "cache": cache.stats(),
         "counters": counters,
     }
@@ -253,10 +275,12 @@ def _verify(w: Workload, completions: list) -> tuple[int, OperatorCache]:
 # ----------------------------------------------------------------------------
 
 def suite_workloads(seed: int, smoke: bool = True) -> tuple[Workload, ...]:
-    """The two standard scenarios: a clean open-loop burst (batching +
-    cache churn + cancellations) and a fault-injected closed loop
-    (degradation, retries, deadline shedding — and still zero wrong
-    answers)."""
+    """The three standard scenarios: a clean open-loop burst (batching +
+    cache churn + cancellations), a wide-batch open-loop burst
+    (``max_batch=16`` so ``auto`` crosses into the BLAS3 GEMM mode —
+    and its answers still verify against the oracle reference), and a
+    fault-injected closed loop (degradation, retries, deadline shedding —
+    and still zero wrong answers)."""
     scale = 1 if smoke else 3
     keys = (
         ProblemKey(problem="poisson", nel=4, n_parts=4, etype="tet4", seed=1),
@@ -275,6 +299,23 @@ def suite_workloads(seed: int, smoke: bool = True) -> tuple[Workload, ...]:
         solve_frac=0.3,
         cancel_frac=0.08,
         max_batch=6,
+        cache_capacity=2,
+    )
+    # wide batches: one hot key, arrivals far faster than service, so the
+    # queue backs up and the batcher forms (close to) max_batch-wide
+    # batches — k >= DEFAULT_K_MIN lands on the GEMM path, which the
+    # post-run verification still checks against the fault-free oracle
+    # reference (SPMV_REL_TOL has ~6 decades of headroom over the
+    # gemm-vs-oracle rounding difference)
+    gemm = Workload(
+        name="open-gemm",
+        keys=keys[:1],
+        arrival="open",
+        n_requests=48 * scale,
+        rate_rps=100000.0,
+        solve_frac=0.25,
+        max_batch=16,
+        queue_capacity=64,
         cache_capacity=2,
     )
     plan = FaultPlan(
@@ -300,27 +341,52 @@ def suite_workloads(seed: int, smoke: bool = True) -> tuple[Workload, ...]:
         cache_capacity=2,
         faults=plan,
     )
-    return (clean, faulted)
+    return (clean, gemm, faulted)
+
+
+def load_calibrated_k_min(path: pathlib.Path) -> int | None:
+    """Read the measured GEMM crossover from a kernels-bench document.
+
+    ``python -m repro.harness bench --suite kernels`` writes the
+    calibrated crossover into ``config.gemm_k_min_crossover`` of
+    ``BENCH_kernels.json``; this loads it for the serve ``auto``
+    threshold.  Returns ``None`` (→ ``DEFAULT_K_MIN``) when the file or
+    key is absent, so pointing at a pre-calibration baseline degrades
+    gracefully.
+    """
+    try:
+        doc = json.loads(pathlib.Path(path).read_text())
+    except (OSError, ValueError):
+        return None
+    val = doc.get("config", {}).get("gemm_k_min_crossover")
+    return int(val) if val is not None else None
 
 
 def run_serve_suite(
-    seed: int = 1234, smoke: bool = True, verbose: bool = True
+    seed: int = 1234,
+    smoke: bool = True,
+    verbose: bool = True,
+    k_min: int | None = None,
 ) -> tuple[dict[str, Any], dict[str, Any]]:
     """Run the standard scenarios; returns ``(serve_doc, bench_doc)``."""
-    doc = new_serve_doc(config={"seed": seed, "smoke": smoke})
+    doc = new_serve_doc(config={"seed": seed, "smoke": smoke, "k_min": k_min})
     for w in suite_workloads(seed, smoke=smoke):
         if verbose:
             print(f"[serve] scenario {w.name} ...", flush=True)
-        sc = run_workload(w, seed=seed)
+        sc = run_workload(w, seed=seed, k_min=k_min)
         doc["scenarios"].append(sc)
         if verbose:
             lat = sc["latency_s"].get("all", {})
+            modes = ", ".join(
+                f"{m}:{v}" for m, v in sorted(sc["modes"].items())
+            ) or "-"
             print(
                 f"[serve]   {sc['requests']['completed']}/"
                 f"{sc['requests']['submitted']} ok, "
                 f"p50 {lat.get('p50', 0) * 1e3:.3f} ms, "
                 f"p99 {lat.get('p99', 0) * 1e3:.3f} ms, "
                 f"hit rate {sc['cache']['hit_rate']:.2f}, "
+                f"modes [{modes}], "
                 f"wrong {sc['requests']['wrong_answers']}"
             )
     return validate_serve_doc(doc), validate_bench_doc(_bench_doc(doc))
@@ -394,11 +460,32 @@ def main(argv: list[str] | None = None) -> int:
         default=pathlib.Path("BENCH_serve.json"),
         help="bench-schema projection path (default: ./BENCH_serve.json)",
     )
+    ap.add_argument(
+        "--k-min",
+        type=int,
+        default=None,
+        help="auto-mode GEMM crossover (default: kernels DEFAULT_K_MIN)",
+    )
+    ap.add_argument(
+        "--k-min-from",
+        type=pathlib.Path,
+        default=None,
+        metavar="BENCH_KERNELS_JSON",
+        help="load the calibrated crossover from a kernels-bench "
+        "document's config.gemm_k_min_crossover (--k-min wins if both "
+        "are given; missing file/key falls back to the default)",
+    )
     ap.add_argument("--quiet", action="store_true")
     args = ap.parse_args(argv)
 
+    k_min = args.k_min
+    if k_min is None and args.k_min_from is not None:
+        k_min = load_calibrated_k_min(args.k_min_from)
+        if not args.quiet and k_min is not None:
+            print(f"[serve] calibrated k_min={k_min} from {args.k_min_from}")
+
     doc, bench = run_serve_suite(
-        seed=args.seed, smoke=args.smoke, verbose=not args.quiet
+        seed=args.seed, smoke=args.smoke, verbose=not args.quiet, k_min=k_min
     )
     for path, payload in ((args.out, doc), (args.bench_out, bench)):
         path.parent.mkdir(parents=True, exist_ok=True)

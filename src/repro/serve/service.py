@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.kernels import EMV_MODES, resolve_mode
 from repro.obs.instrumentation import Instrumentation
 from repro.serve.batcher import BatchPolicy, MicroBatcher
 from repro.serve.cache import OperatorCache
@@ -67,14 +68,33 @@ class SolverService:
         retry_limit: int = 2,
         maxiter: int = 2000,
         obs: Instrumentation | None = None,
+        mode: str = "auto",
+        k_min: int | None = None,
     ):
+        """``mode`` is the multi-RHS execution mode every batch runs
+        under (``"auto"`` resolves per batch: GEMM when the batch width
+        reaches ``k_min``, the bitwise per-column oracle below it);
+        ``k_min=None`` uses :data:`repro.core.kernels.DEFAULT_K_MIN` —
+        pass the calibrated ``config.gemm_k_min_crossover`` from a
+        kernels-bench document to use the measured crossover instead.
+        """
+        if mode not in EMV_MODES:
+            raise ValueError(
+                f"unknown execution mode {mode!r} (expected one of {EMV_MODES})"
+            )
         self.cache = cache
         self.obs = obs if obs is not None else cache.obs
         self.queue = RequestQueue(queue_capacity)
         self.batcher = MicroBatcher(BatchPolicy(max_batch))
         self.retry_limit = retry_limit
         self.maxiter = maxiter
+        self.mode = mode
+        self.k_min = k_min
         self.batch_histogram: dict[int, int] = {}
+        # what each dispatched batch actually ran under: "oracle" /
+        # "gemm" / "degraded" (fault-degraded solves bypass the batched
+        # path entirely) -> batch count
+        self.mode_histogram: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # admission
@@ -154,8 +174,10 @@ class SolverService:
         X = np.column_stack(
             [self.input_vector(ctx, r.seed) for r in batch]
         )
+        mode = resolve_mode(self.mode, len(batch), self.k_min)
         if kind == "spmv":
-            Y, dt = ctx.apply_multi(X)
+            self._record_mode(mode)
+            Y, dt = ctx.apply_multi(X, mode=mode)
             return [
                 Completion(r, "ok", np.ascontiguousarray(Y[:, j]))
                 for j, r in enumerate(batch)
@@ -163,8 +185,10 @@ class SolverService:
         degraded = ctx.faulted
         if degraded:
             self.obs.incr("serve.degraded", len(batch))
+        self._record_mode("degraded" if degraded else mode)
         out, dt = ctx.solve_multi(
-            X, rtol=batch[0].rtol, maxiter=self.maxiter, degraded=degraded
+            X, rtol=batch[0].rtol, maxiter=self.maxiter, degraded=degraded,
+            mode=mode,
         )
         comps = []
         for j, r in enumerate(batch):
@@ -180,6 +204,10 @@ class SolverService:
                 },
             ))
         return comps, dt
+
+    def _record_mode(self, mode: str) -> None:
+        self.mode_histogram[mode] = self.mode_histogram.get(mode, 0) + 1
+        self.obs.incr(f"serve.mode.{mode}")
 
     @staticmethod
     def input_vector(ctx, seed: int) -> np.ndarray:

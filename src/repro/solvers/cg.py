@@ -313,24 +313,36 @@ def cg_multi(
     rtol: float = 1e-3,
     atol: float = 0.0,
     maxiter: int = 10000,
+    mode: str | None = None,
 ) -> list[CGResult]:
     """Blocked multi-RHS CG: solve ``A X = B`` for all ``k`` columns of
     ``B`` at once, advancing the ``k`` independent Krylov iterations in
     lock-step.
 
-    Column ``j`` of the result is **bitwise identical** to
-    ``cg(comm, ..., B[:, j], fused=True)``: each column's arithmetic is
-    the exact fused-loop sequence (same in-place axpy updates, same
-    contiguous dot operands), the columns never mix numerically, and a
-    converged column is frozen — never touched again — just as its
-    single-RHS solve would have stopped.  What *is* batched is the
-    synchronization: each iteration ships ONE allreduce of a ``k``-vector
-    of ``p·Ap`` values and one of the fused ``[r·r, r·z]`` pairs, where
-    ``k`` sequential solves would ship ``2 k`` — the elementwise vector
-    reduction reduces every slot in the same rank order as a scalar, so
-    the reduced values carry the single-RHS bits.  With the batched SPMV
-    (``apply_owned_multi``) as ``apply_A`` this is the serve layer's
-    latency story: global synchronizations per iteration drop k-fold.
+    With the default/oracle execution, column ``j`` of the result is
+    **bitwise identical** to ``cg(comm, ..., B[:, j], fused=True)``: each
+    column's arithmetic is the exact fused-loop sequence (same in-place
+    axpy updates, same contiguous dot operands), the columns never mix
+    numerically, and a converged column is frozen — never touched again —
+    just as its single-RHS solve would have stopped.  What *is* batched
+    is the synchronization: each iteration ships ONE allreduce of a
+    ``k``-vector of ``p·Ap`` values and one of the fused ``[r·r, r·z]``
+    pairs, where ``k`` sequential solves would ship ``2 k`` — the
+    elementwise vector reduction reduces every slot in the same rank
+    order as a scalar, so the reduced values carry the single-RHS bits.
+    With the batched SPMV (``apply_owned_multi``) as ``apply_A`` this is
+    the serve layer's latency story: global synchronizations per
+    iteration drop k-fold.
+
+    ``mode`` (``"oracle"`` | ``"gemm"`` | ``"auto"``) is forwarded to
+    ``apply_A`` as a keyword on every matvec, selecting the multi-RHS
+    execution mode of operators that support it; ``None`` (the default)
+    calls ``apply_A(P)`` unchanged, so plain closures keep working.
+    Under a resolved ``"gemm"`` the per-column bitwise identity above is
+    relaxed to rounding-level equivalence (the BLAS3 elemental stage
+    reorders accumulation, see
+    :func:`repro.core.kernels.gemm_equivalence_rtol`); CG convergence
+    behaviour is unaffected beyond the usual last-ulp iterate drift.
 
     Returns one :class:`CGResult` per column.
     """
@@ -343,7 +355,7 @@ def cg_multi(
 
     def matvec(P: np.ndarray) -> np.ndarray:
         t = comm.vtime
-        AP = apply_A(P)
+        AP = apply_A(P) if mode is None else apply_A(P, mode=mode)
         obs.record("solve.spmv", vtime=comm.vtime - t)
         return AP
 

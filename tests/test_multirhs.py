@@ -46,7 +46,7 @@ def _mesh_op():
     return mesh, op
 
 
-def _multi_vs_single(kind: str, k: int, workspace: bool):
+def _multi_vs_single(kind: str, k: int, workspace: bool, mode: str | None = None):
     mesh, op = _mesh_op()
     part = build_partition(mesh, N_PARTS, method="graph")
     n = mesh.n_nodes * op.ndpn
@@ -58,7 +58,10 @@ def _multi_vs_single(kind: str, k: int, workspace: bool):
         singles = np.column_stack(
             [A.apply_owned(np.ascontiguousarray(Xr[:, j])) for j in range(k)]
         )
-        multi = A.apply_owned_multi(Xr)
+        if mode is None:
+            multi = A.apply_owned_multi(Xr)
+        else:
+            multi = A.apply_owned_multi(Xr, mode=mode)
         return bool(np.array_equal(singles, multi)), multi
 
     ndpn = op.ndpn
@@ -82,6 +85,18 @@ def test_apply_multi_bitwise_per_column(kind, k):
 )
 def test_apply_multi_bitwise_without_workspace(kind):
     results = _multi_vs_single(kind, 3, workspace=False)
+    assert all(ok for ok, _ in results)
+
+
+@pytest.mark.parametrize("kind", sorted(FACTORIES))
+def test_mode_oracle_pins_bitwise_above_default_k_min(kind):
+    # k=8 resolves to GEMM under the default mode="auto"
+    # (DEFAULT_K_MIN=8); an explicit mode="oracle" must pin the
+    # per-column bitwise contract regardless of batch width
+    from repro.core.kernels import DEFAULT_K_MIN
+
+    results = _multi_vs_single(kind, DEFAULT_K_MIN, workspace=True,
+                               mode="oracle")
     assert all(ok for ok, _ in results)
 
 

@@ -142,7 +142,7 @@ class _ScriptedCtx:
     def fault_signal(self):
         return self._sig
 
-    def apply_multi(self, X):
+    def apply_multi(self, X, mode="auto"):
         self.calls += 1
         self._sig += self._signals.pop(0) if self._signals else 0.0
         return X * 2.0, 1e-3
@@ -189,7 +189,7 @@ class _ExplodingCtx(_ScriptedCtx):
         super().__init__(signals=[])
         self.failures = failures
 
-    def apply_multi(self, X):
+    def apply_multi(self, X, mode="auto"):
         if self.failures:
             self.failures -= 1
             raise RuntimeError("simulated rank abort")
@@ -248,7 +248,7 @@ def test_faulted_service_never_wrong():
 
 
 def test_run_workload_report_is_schema_valid_and_exact():
-    clean, faulted = suite_workloads(seed=99, smoke=True)
+    clean, _gemm, faulted = suite_workloads(seed=99, smoke=True)
     small = dataclasses.replace(clean, n_requests=12)
     sc = run_workload(small, seed=99)
     doc = new_serve_doc(config={"seed": 99})
@@ -267,7 +267,7 @@ def test_run_workload_report_is_schema_valid_and_exact():
 
 
 def test_faulted_workload_zero_wrong_answers():
-    _, faulted = suite_workloads(seed=7, smoke=True)
+    _, _gemm, faulted = suite_workloads(seed=7, smoke=True)
     small = dataclasses.replace(faulted, n_requests=10, n_clients=3)
     sc = run_workload(small, seed=7)
     assert sc["requests"]["wrong_answers"] == 0
