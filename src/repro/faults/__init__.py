@@ -7,6 +7,10 @@
   (``python -m repro.harness chaos``): runs a fault matrix against a
   fault-free reference solve and writes a schema-versioned
   ``CHAOS_report.json``.
+* :mod:`repro.faults.shard` — shard-level failures for the sharded
+  serving tier (:mod:`repro.serve.shard`): :class:`ShardKill` events on
+  a :class:`ShardFaultPlan` timeline (kill at a virtual time, optional
+  revive) driving router-membership failover.
 
 The injection points live in :mod:`repro.simmpi` (message faults, compute
 stragglers, ghost checksums) and :mod:`repro.solvers.cg` (breakdown
@@ -30,6 +34,7 @@ from repro.faults.plan import (
     corrupt_array,
     payload_checksum,
 )
+from repro.faults.shard import ShardFaultPlan, ShardFaultState, ShardKill
 
 __all__ = [
     "CORRUPT_MODES",
@@ -43,6 +48,9 @@ __all__ = [
     "MessageLostError",
     "Reorder",
     "SendEffects",
+    "ShardFaultPlan",
+    "ShardFaultState",
+    "ShardKill",
     "Straggler",
     "corrupt_array",
     "payload_checksum",

@@ -1,0 +1,98 @@
+"""Control-plane fault plans for the sharded serving tier.
+
+:mod:`repro.faults.plan` injects *data-plane* faults (message delays,
+drops, corruption) inside one simulated machine.  The sharded service
+adds a second failure domain above it: whole shards dying.  A
+:class:`ShardKill` removes one shard from the cluster at a fixed virtual
+time — its consistent-hash ring segment is taken over by the surviving
+shards, queued requests fail over, and its cached operators are lost
+(rebuilt on reroute).  An optional ``revive_at`` rejoins the shard later
+with a cold cache.
+
+Like every fault plan in this repo, a :class:`ShardFaultPlan` is an
+immutable pure description; :meth:`ShardFaultPlan.bind` returns the
+mutable per-run cursor the balancer polls.  All decisions key off virtual
+time only, so a fixed plan fires identically on every run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["ShardKill", "ShardFaultPlan", "ShardFaultState"]
+
+
+@dataclass(frozen=True)
+class ShardKill:
+    """Remove ``shard`` from the cluster at virtual time ``at``; rejoin
+    it (cold) at ``revive_at`` when given."""
+
+    shard: str
+    at: float
+    revive_at: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"ShardKill: at must be >= 0, got {self.at}")
+        if self.revive_at is not None and self.revive_at <= self.at:
+            raise ValueError(
+                f"ShardKill: revive_at {self.revive_at} must be > at {self.at}"
+            )
+
+
+@dataclass(frozen=True)
+class ShardFaultPlan:
+    """Immutable schedule of shard-level failures."""
+
+    kills: tuple[ShardKill, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kills", tuple(self.kills))
+        for k in self.kills:
+            if not isinstance(k, ShardKill):
+                raise TypeError(f"not a ShardKill: {k!r}")
+        shards = [k.shard for k in self.kills]
+        if len(shards) != len(set(shards)):
+            raise ValueError("ShardFaultPlan: at most one kill per shard")
+
+    def bind(self) -> "ShardFaultState":
+        """Fresh mutable cursor for one cluster run."""
+        return ShardFaultState(self)
+
+    def describe(self) -> dict:
+        """JSON-able summary (used by the shard report)."""
+        return {
+            "kills": [
+                {"shard": k.shard, "at": k.at, "revive_at": k.revive_at}
+                for k in self.kills
+            ],
+        }
+
+
+class ShardFaultState:
+    """Per-run cursor over a :class:`ShardFaultPlan`'s timeline."""
+
+    def __init__(self, plan: ShardFaultPlan):
+        self.plan = plan
+        self._kills = sorted(plan.kills, key=lambda k: (k.at, k.shard))
+        self._revives = sorted(
+            ((k.revive_at, k.shard) for k in plan.kills if k.revive_at is not None),
+        )
+
+    def due_kills(self, now: float) -> list[ShardKill]:
+        """Pop and return every kill scheduled at or before ``now``."""
+        due = [k for k in self._kills if k.at <= now]
+        self._kills = self._kills[len(due):]
+        return due
+
+    def due_revives(self, now: float) -> list[str]:
+        """Pop and return every shard scheduled to rejoin by ``now``."""
+        due = [(t, s) for t, s in self._revives if t <= now]
+        self._revives = self._revives[len(due):]
+        return [s for _, s in due]
+
+    def next_event(self) -> float:
+        """Virtual time of the next pending kill/revive (inf when done)."""
+        times = [k.at for k in self._kills] + [t for t, _ in self._revives]
+        return min(times) if times else math.inf

@@ -30,6 +30,8 @@ _COMMANDS = {
               "CHAOS_report.json (--smoke for CI size)"),
     "serve": ("repro.serve.loadgen", "batched-solver load harness -> "
               "SERVE_report.json (--smoke for CI size)"),
+    "shard": ("repro.serve.shardload", "sharded-tier Zipf load harness -> "
+              "SHARD_report.json (--smoke for CI size)"),
 }
 
 # (example invocation, what it does) — the single source of the usage block
@@ -45,6 +47,8 @@ _EXAMPLES = (
      "fault matrix -> CHAOS_report.json"),
     ("python -m repro.harness serve --smoke",
      "load harness -> SERVE_report.json"),
+    ("python -m repro.harness shard --smoke",
+     "sharded tier -> SHARD_report.json"),
 )
 
 

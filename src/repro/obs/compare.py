@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 from dataclasses import dataclass
@@ -36,7 +37,7 @@ from typing import Any
 
 from repro.obs.schema import SchemaError, result_key, validate_bench_doc
 
-__all__ = ["Finding", "compare_docs", "main"]
+__all__ = ["Finding", "compare_docs", "markdown_summary", "main"]
 
 #: phases below this baseline magnitude (seconds) are never gated —
 #: relative noise on a ~0s phase is meaningless
@@ -257,6 +258,67 @@ def compare_docs(
     return ok, findings
 
 
+def markdown_summary(
+    base_doc: dict[str, Any],
+    cand_doc: dict[str, Any],
+    findings: list[Finding],
+    ok: bool,
+    budget: float,
+) -> str:
+    """GitHub-flavored markdown digest of one comparison: a phase table
+    (baseline vs candidate medians) plus every non-info finding.  Written
+    to ``$GITHUB_STEP_SUMMARY`` by :func:`main` so each bench job renders
+    its gate verdict on the run's summary page."""
+    verdict = "PASS" if ok else "FAIL"
+    suite = cand_doc.get("suite", "?")
+    lines = [
+        f"### Perf gate `{suite}`: **{verdict}** "
+        f"(budget +{budget * 100:.0f}%)",
+        "",
+        "| result | phase | baseline | candidate | delta |",
+        "|---|---|---:|---:|---:|",
+    ]
+    cand_by_key = {result_key(r): r for r in cand_doc["results"]}
+    for base in base_doc["results"]:
+        key = result_key(base)
+        cand = cand_by_key.get(key)
+        for label, bstats in base["phases"].items():
+            b = bstats["median"]
+            cstats = cand["phases"].get(label) if cand else None
+            if cstats is None:
+                lines.append(f"| {key} | {label} | {b * 1e3:.4f} ms "
+                             f"| *missing* | — |")
+                continue
+            c = cstats["median"]
+            delta = f"{(c - b) / b * 100:+.1f}%" if b > 0 else "—"
+            lines.append(
+                f"| {key} | {label} | {b * 1e3:.4f} ms "
+                f"| {c * 1e3:.4f} ms | {delta} |"
+            )
+    flagged = [f for f in findings if f.severity != "info"]
+    if flagged:
+        lines += ["", "#### Findings", ""]
+        lines += [f"- **{f.severity}** `{f.where}` — {f.message}"
+                  for f in flagged]
+    n_info = sum(1 for f in findings if f.severity == "info")
+    if n_info:
+        lines += ["", f"_{n_info} informational finding(s) in the job log._"]
+    return "\n".join(lines) + "\n"
+
+
+def _write_step_summary(text: str) -> None:
+    """Append to the GitHub Actions step summary when running under CI;
+    a no-op (by design) everywhere else."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    try:
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(text)
+    except OSError as exc:  # never fail the gate over a summary file
+        print(f"[compare] step summary not written: {exc}", file=sys.stderr)
+
+
 def _split_gate(spec: str) -> tuple[str, str]:
     """Split a ``NAME@SUBSTR`` / ``VALUE@SUBSTR`` gate spec."""
     left, sep, right = spec.partition("@")
@@ -339,6 +401,9 @@ def main(argv: list[str] | None = None) -> int:
     for f in findings:
         stream = sys.stderr if f.severity == "fail" else sys.stdout
         print(str(f), file=stream)
+    _write_step_summary(
+        markdown_summary(base, cand, findings, ok, args.budget)
+    )
     n_fail = sum(1 for f in findings if f.severity == "fail")
     if ok:
         print(

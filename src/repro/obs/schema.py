@@ -21,14 +21,17 @@ __all__ = [
     "CHAOS_SCHEMA",
     "SERVE_SCHEMA",
     "SERVE_SCHEMA_V1",
+    "SHARD_SCHEMA",
     "SchemaError",
     "machine_fingerprint",
     "new_bench_doc",
     "new_chaos_doc",
     "new_serve_doc",
+    "new_shard_doc",
     "validate_bench_doc",
     "validate_chaos_doc",
     "validate_serve_doc",
+    "validate_shard_doc",
 ]
 
 #: Schema identifier; bump the trailing integer on breaking changes.
@@ -46,6 +49,12 @@ CHAOS_SCHEMA = "repro.chaos/1"
 #: produced before the BLAS3 fast path landed.
 SERVE_SCHEMA = "repro.serve/2"
 SERVE_SCHEMA_V1 = "repro.serve/1"
+
+#: Shard-report schema (``SHARD_report.json`` written by
+#: ``python -m repro.harness shard``): the sharded-tier counterpart of
+#: the serve report, adding per-shard utilization, replication state,
+#: per-tenant stats and failover counts.
+SHARD_SCHEMA = "repro.shard/1"
 
 _PHASE_STAT_KEYS = ("median", "min", "max", "repeats")
 _RESULT_REQUIRED = ("case", "method", "n_parts", "n_dofs", "phases", "counters")
@@ -253,4 +262,92 @@ def validate_serve_doc(doc: Any) -> dict[str, Any]:
                 raise SchemaError(f"{where}.cache missing key {key!r}")
         if not isinstance(sc["counters"], dict):
             raise SchemaError(f"{where}.counters must be an object")
+    return doc
+
+
+# ----------------------------------------------------------------------------
+# shard report
+# ----------------------------------------------------------------------------
+
+_SHARD_SCENARIO_REQUIRED = (
+    "scenario", "workload", "n_shards", "requests", "latency_s",
+    "throughput_rps", "makespan_s", "shards", "utilization", "replication",
+    "tenants", "batch_histogram", "modes", "counters",
+)
+_SHARD_REQUEST_KEYS = (
+    "submitted", "completed", "rejected", "shed_tenant", "shed_deadline",
+    "spilled", "failed", "failovers", "wrong_answers",
+)
+_SHARD_UTIL_KEYS = ("mean", "min", "max", "peak_to_mean")
+_SHARD_REPL_KEYS = ("keys_seen", "replicated_keys", "replication_factor")
+_SHARD_PER_SHARD_KEYS = ("utilization", "busy_s", "dispatches", "alive", "cache")
+
+
+def new_shard_doc(config: dict[str, Any] | None = None) -> dict[str, Any]:
+    """An empty, schema-conforming shard report."""
+    return {
+        "schema": SHARD_SCHEMA,
+        "created_unix": time.time(),
+        "machine": machine_fingerprint(),
+        "config": dict(config or {}),
+        "scenarios": [],
+    }
+
+
+def validate_shard_doc(doc: Any) -> dict[str, Any]:
+    """Validate a parsed shard report; returns it on success."""
+    if not isinstance(doc, dict):
+        raise SchemaError(f"shard doc must be an object, got {type(doc).__name__}")
+    schema = doc.get("schema")
+    if schema != SHARD_SCHEMA:
+        raise SchemaError(
+            f"unsupported schema {schema!r} (expected {SHARD_SCHEMA!r})"
+        )
+    for key in ("machine", "config", "scenarios"):
+        if key not in doc:
+            raise SchemaError(f"shard doc missing key {key!r}")
+    if not isinstance(doc["scenarios"], list):
+        raise SchemaError("'scenarios' must be a list")
+    for i, sc in enumerate(doc["scenarios"]):
+        where = f"scenarios[{i}]"
+        if not isinstance(sc, dict):
+            raise SchemaError(f"{where} must be an object")
+        for key in _SHARD_SCENARIO_REQUIRED:
+            if key not in sc:
+                raise SchemaError(f"{where} missing key {key!r}")
+        for key in _SHARD_REQUEST_KEYS:
+            if key not in sc["requests"]:
+                raise SchemaError(f"{where}.requests missing key {key!r}")
+        if not isinstance(sc["latency_s"], dict):
+            raise SchemaError(f"{where}.latency_s must be an object")
+        if sc["requests"]["completed"] and "all" not in sc["latency_s"]:
+            raise SchemaError(f"{where}.latency_s missing the 'all' summary")
+        for kind, summ in sc["latency_s"].items():
+            for key in _SERVE_LATENCY_KEYS:
+                if key not in summ:
+                    raise SchemaError(
+                        f"{where}.latency_s[{kind!r}] missing key {key!r}"
+                    )
+        if not isinstance(sc["shards"], dict) or not sc["shards"]:
+            raise SchemaError(f"{where}.shards must be a non-empty object")
+        for sid, ssum in sc["shards"].items():
+            for key in _SHARD_PER_SHARD_KEYS:
+                if key not in ssum:
+                    raise SchemaError(
+                        f"{where}.shards[{sid!r}] missing key {key!r}"
+                    )
+            for key in ("hits", "misses", "evictions", "hit_rate"):
+                if key not in ssum["cache"]:
+                    raise SchemaError(
+                        f"{where}.shards[{sid!r}].cache missing key {key!r}"
+                    )
+        for key in _SHARD_UTIL_KEYS:
+            if key not in sc["utilization"]:
+                raise SchemaError(f"{where}.utilization missing key {key!r}")
+        for key in _SHARD_REPL_KEYS:
+            if key not in sc["replication"]:
+                raise SchemaError(f"{where}.replication missing key {key!r}")
+        for label in ("tenants", "batch_histogram", "modes", "counters"):
+            if not isinstance(sc[label], dict):
+                raise SchemaError(f"{where}.{label} must be an object")
     return doc

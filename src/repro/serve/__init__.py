@@ -19,21 +19,34 @@ and amortized over the solver iterations"; here, over *requests* too).
 * :mod:`repro.serve.loadgen` — seeded open-/closed-loop load generator
   behind ``python -m repro.harness serve``; writes the schema-versioned
   ``SERVE_report.json``.
+* :mod:`repro.serve.shard` — the multi-node tier: consistent-hash
+  :class:`ShardRouter` with hot-key replication and coherent
+  invalidation, and the SLO-aware :class:`ShardCluster` balancer
+  (deadline-ordered dispatch, per-tenant admission, shed-or-spill,
+  shard-kill failover).
+* :mod:`repro.serve.shardload` — Zipf multi-tenant load harness behind
+  ``python -m repro.harness shard``; writes the schema-versioned
+  ``SHARD_report.json``.
 """
 
-from repro.serve.batcher import BatchPolicy, MicroBatcher
+from repro.serve.batcher import BatchPolicy, DeadlineBatcher, MicroBatcher
 from repro.serve.cache import OperatorCache, ProblemKey, SolverContext
 from repro.serve.queue import RequestQueue, ServeRequest
 from repro.serve.service import Completion, DispatchOutcome, SolverService
+from repro.serve.shard import HashRing, ShardCluster, ShardRouter
 
 __all__ = [
     "BatchPolicy",
     "Completion",
+    "DeadlineBatcher",
     "DispatchOutcome",
+    "HashRing",
     "MicroBatcher",
     "OperatorCache",
     "ProblemKey",
     "RequestQueue",
     "ServeRequest",
+    "ShardCluster",
+    "ShardRouter",
     "SolverContext",
 ]

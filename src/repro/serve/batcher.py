@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 from repro.serve.queue import RequestQueue, ServeRequest
 
-__all__ = ["BatchPolicy", "MicroBatcher"]
+__all__ = ["BatchPolicy", "MicroBatcher", "DeadlineBatcher"]
 
 
 @dataclass(frozen=True)
@@ -59,6 +59,38 @@ class MicroBatcher:
             return []
         picked = [head]
         for req in queue.fifo():
+            if len(picked) >= self.policy.max_batch:
+                break
+            if req.rid != head.rid and self.policy.compatible(head, req):
+                picked.append(req)
+        return queue.take(r.rid for r in picked)
+
+
+class DeadlineBatcher(MicroBatcher):
+    """Deadline-ordered variant: the most urgent request seeds the batch.
+
+    The SLO-aware shard tier dispatches by earliest deadline first
+    (requests without a deadline rank after all deadlined ones, in FIFO
+    order), then fills the batch with compatible requests in FIFO order —
+    so urgency decides *which group* runs next, while FIFO fairness
+    within the group is unchanged.  With no deadlines in the queue this
+    degenerates exactly to :class:`MicroBatcher`.
+    """
+
+    def next_batch(self, queue: RequestQueue) -> list[ServeRequest]:
+        reqs = list(queue.fifo())
+        if not reqs:
+            return []
+        head = min(
+            reqs,
+            key=lambda r: (
+                r.deadline if r.deadline is not None else float("inf"),
+                r.arrival,
+                r.rid,
+            ),
+        )
+        picked = [head]
+        for req in reqs:
             if len(picked) >= self.policy.max_batch:
                 break
             if req.rid != head.rid and self.policy.compatible(head, req):

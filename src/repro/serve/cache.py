@@ -23,6 +23,7 @@ from __future__ import annotations
 import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -356,7 +357,16 @@ class SolverContext:
 
 
 class OperatorCache:
-    """Bounded LRU cache of :class:`SolverContext` entries."""
+    """Bounded LRU cache of :class:`SolverContext` entries.
+
+    ``cluster``/``cluster_name`` register every built context's simulator
+    with a :class:`~repro.simmpi.cluster.VirtualCluster`, so multi-service
+    simulations (the sharded tier) can account busy virtual time per
+    logical node across the whole cache history.  ``on_invalidate`` is an
+    optional hook fired after an explicit :meth:`invalidate` (not on LRU
+    eviction — an evicted context was still *valid*); the shard tier uses
+    it for cache-coherent invalidation of replicas.
+    """
 
     def __init__(
         self,
@@ -365,6 +375,8 @@ class OperatorCache:
         faults: FaultPlan | None = None,
         network: NetworkModel | None = None,
         modeled_rate_gflops: float | None = DEFAULT_RATE_GFLOPS,
+        cluster=None,
+        cluster_name: str = "",
     ):
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
@@ -373,10 +385,20 @@ class OperatorCache:
         self.faults = faults
         self.network = network
         self.modeled_rate_gflops = modeled_rate_gflops
+        self.cluster = cluster
+        self.cluster_name = cluster_name
+        #: post-invalidation hook ``(key) -> None`` (see class docstring)
+        self.on_invalidate = None
         self._entries: OrderedDict[str, SolverContext] = OrderedDict()
         #: simulator counters of evicted/invalidated contexts, so scenario
         #: reports see the whole history, not just live entries
         self._retired: dict[str, float] = {}
+        #: per-tenant hit/miss accounting: tenant label -> [hits, misses].
+        #: Unlike the per-context simulator counters (which are retired on
+        #: eviction), hit/miss stats always lived only on ``self.obs`` with
+        #: no tenant dimension; this map adds the labels the multi-tenant
+        #: Zipf harness needs for per-tenant hit rates.
+        self._tenants: dict[str, list[int]] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -384,22 +406,33 @@ class OperatorCache:
     def __contains__(self, key: ProblemKey) -> bool:
         return key.fingerprint() in self._entries
 
-    def get(self, key: ProblemKey) -> tuple[SolverContext, float]:
+    def get(
+        self, key: ProblemKey, tenants: Sequence[str] | None = None
+    ) -> tuple[SolverContext, float]:
         """Warm context for ``key``; returns ``(ctx, build_vtime)`` where
-        ``build_vtime`` is 0 on a hit (setup already amortized)."""
+        ``build_vtime`` is 0 on a hit (setup already amortized).
+
+        ``tenants`` optionally attributes this lookup to tenant labels
+        (one per batched request); each listed tenant's hit/miss counters
+        move by one, feeding :meth:`tenant_stats`.
+        """
         fp = key.fingerprint()
         ctx = self._entries.get(fp)
         if ctx is not None:
             self._entries.move_to_end(fp)
             self.obs.incr("serve.cache.hits")
+            self._account_tenants(tenants, hit=True)
             return ctx, 0.0
         self.obs.incr("serve.cache.misses")
+        self._account_tenants(tenants, hit=False)
         ctx = SolverContext(
             key,
             faults=self.faults,
             network=self.network,
             modeled_rate_gflops=self.modeled_rate_gflops,
         )
+        if self.cluster is not None:
+            self.cluster.register(self.cluster_name, ctx.sim)
         self._entries[fp] = ctx
         while len(self._entries) > self.capacity:
             _, old = self._entries.popitem(last=False)
@@ -407,17 +440,45 @@ class OperatorCache:
             self.obs.incr("serve.cache.evictions")
         return ctx, ctx.build_vtime
 
+    def _account_tenants(
+        self, tenants: Sequence[str] | None, hit: bool
+    ) -> None:
+        for t in tenants or ():
+            stats = self._tenants.setdefault(t, [0, 0])
+            stats[0 if hit else 1] += 1
+            self.obs.incr(
+                f"serve.cache.tenant.{t}.{'hits' if hit else 'misses'}"
+            )
+
     def invalidate(self, key: ProblemKey) -> bool:
-        """Drop a (possibly poisoned) context; next ``get`` rebuilds."""
+        """Drop a (possibly poisoned) context; next ``get`` rebuilds.
+
+        Fires :attr:`on_invalidate` (when set) after the local drop, so a
+        coherence layer can propagate the invalidation to replicas — the
+        hook fires even when the key was not locally cached, because a
+        poison signal on one replica says nothing about the others.
+        """
         ctx = self._entries.pop(key.fingerprint(), None)
-        if ctx is None:
-            return False
-        self._retire(ctx)
-        return True
+        if ctx is not None:
+            self._retire(ctx)
+        if self.on_invalidate is not None:
+            self.on_invalidate(key)
+        return ctx is not None
 
     def _retire(self, ctx: SolverContext) -> None:
         for name, val in ctx.counters().items():
             self._retired[name] = self._retired.get(name, 0) + val
+
+    def tenant_stats(self) -> dict[str, dict[str, float]]:
+        """Per-tenant hit/miss counters accumulated by :meth:`get`."""
+        return {
+            t: {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+            }
+            for t, (hits, misses) in sorted(self._tenants.items())
+        }
 
     def stats(self) -> dict[str, float]:
         hits = self.obs.counter("serve.cache.hits")

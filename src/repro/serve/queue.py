@@ -37,6 +37,7 @@ class ServeRequest:
     arrival: float = 0.0  # virtual-time arrival stamp
     deadline: float | None = None  # absolute virtual time; None = no deadline
     rtol: float = 1e-6  # solve requests only
+    tenant: str | None = None  # multi-tenant accounting/admission label
     meta: dict = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:

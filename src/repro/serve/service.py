@@ -70,6 +70,7 @@ class SolverService:
         obs: Instrumentation | None = None,
         mode: str = "auto",
         k_min: int | None = None,
+        batcher: MicroBatcher | None = None,
     ):
         """``mode`` is the multi-RHS execution mode every batch runs
         under (``"auto"`` resolves per batch: GEMM when the batch width
@@ -77,6 +78,9 @@ class SolverService:
         ``k_min=None`` uses :data:`repro.core.kernels.DEFAULT_K_MIN` —
         pass the calibrated ``config.gemm_k_min_crossover`` from a
         kernels-bench document to use the measured crossover instead.
+        ``batcher`` swaps the batch-forming policy (the shard tier passes
+        a :class:`~repro.serve.batcher.DeadlineBatcher`); when given, it
+        carries its own policy and ``max_batch`` is ignored.
         """
         if mode not in EMV_MODES:
             raise ValueError(
@@ -85,7 +89,9 @@ class SolverService:
         self.cache = cache
         self.obs = obs if obs is not None else cache.obs
         self.queue = RequestQueue(queue_capacity)
-        self.batcher = MicroBatcher(BatchPolicy(max_batch))
+        self.batcher = (
+            batcher if batcher is not None else MicroBatcher(BatchPolicy(max_batch))
+        )
         self.retry_limit = retry_limit
         self.maxiter = maxiter
         self.mode = mode
@@ -144,9 +150,16 @@ class SolverService:
         key, kind = batch[0].key, batch[0].kind
         duration = 0.0
         attempts = 0
+        # attribute the (single) cache lookup to every batched request's
+        # tenant; tenant-less batches keep the plain call so lightweight
+        # cache stand-ins (tests) need not grow the keyword
+        tenants = [r.tenant for r in batch if r.tenant is not None]
         while True:
             try:
-                ctx, build_dt = self.cache.get(key)
+                if tenants:
+                    ctx, build_dt = self.cache.get(key, tenants=tenants)
+                else:
+                    ctx, build_dt = self.cache.get(key)
                 duration += build_dt
                 sig0 = ctx.fault_signal()
                 completions, dt = self._run_batch(ctx, batch, kind)

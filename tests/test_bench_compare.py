@@ -131,3 +131,40 @@ def test_compare_cli_exit_codes(tiny_doc, tmp_path):
     assert compare_main([str(base), str(worse)]) == 1
     assert compare_main([str(base), str(bad)]) == 2
     assert compare_main([str(base), str(tmp_path / "absent.json")]) == 2
+
+
+def test_markdown_summary_written_to_step_summary(tiny_doc, tmp_path,
+                                                  monkeypatch):
+    """Under GitHub Actions the compare CLI appends a markdown digest to
+    $GITHUB_STEP_SUMMARY; the table carries every gated phase and the
+    verdict heading reflects pass/fail."""
+    from repro.obs.compare import markdown_summary
+
+    base = tmp_path / "base.json"
+    base.write_text(json.dumps(tiny_doc))
+    summary = tmp_path / "step_summary.md"
+    monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+    assert compare_main([str(base), str(base)]) == 0
+    text = summary.read_text()
+    assert "**PASS**" in text
+    assert "| result | phase |" in text
+    for res in tiny_doc["results"]:
+        assert result_key(res) in text
+
+    worse_doc = copy.deepcopy(tiny_doc)
+    worse_doc["results"][0]["phases"]["spmv.total"]["median"] *= 3.0
+    worse = tmp_path / "worse.json"
+    worse.write_text(json.dumps(worse_doc))
+    summary.write_text("")  # fresh file for the failing run
+    assert compare_main([str(base), str(worse)]) == 1
+    text = summary.read_text()
+    assert "**FAIL**" in text
+    assert "#### Findings" in text
+
+    # without the env var the writer is a no-op and the CLI still works
+    monkeypatch.delenv("GITHUB_STEP_SUMMARY")
+    assert compare_main([str(base), str(base)]) == 0
+
+    # the pure function renders a table even for an empty finding list
+    md = markdown_summary(tiny_doc, tiny_doc, [], True, 0.25)
+    assert md.startswith("### Perf gate")
