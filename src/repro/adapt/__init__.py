@@ -1,0 +1,29 @@
+"""Incremental operator updates as a serving workload.
+
+The paper's headline "adaptive-matrix" claim — on local refinement or
+XFEM enrichment, recompute only the affected element matrices with no
+global reassembly — lives here as a *workload*:
+
+* :mod:`repro.adapt.delta` — :class:`MeshDelta` (the wire format of a
+  mesh change: stiffness scales, node moves, local refinement), the
+  rank-local :class:`OperatorDelta`, and the :class:`CrackFront`
+  softening model that generates deterministic delta streams;
+* :mod:`repro.adapt.apply` — applying a delta to a
+  :class:`~repro.problems.ProblemSpec` and localizing it per rank;
+* :mod:`repro.adapt.harness` — ``python -m repro.harness adapt``: delta
+  streams interleaved with solves in virtual time, every answer
+  differentially verified (bitwise, oracle mode) against an operator
+  freshly built from the post-update mesh, written to a
+  schema-versioned ``ADAPT_report.json`` + ``BENCH_adapt.json``.
+"""
+
+from repro.adapt.apply import apply_delta_to_spec, localize_delta
+from repro.adapt.delta import CrackFront, MeshDelta, OperatorDelta
+
+__all__ = [
+    "MeshDelta",
+    "OperatorDelta",
+    "CrackFront",
+    "apply_delta_to_spec",
+    "localize_delta",
+]

@@ -1,0 +1,339 @@
+"""Incremental-update harness: ``python -m repro.harness adapt``.
+
+Serves a delta stream against warm cached operators — crack-front
+softening (stiffness scales), near-front mesh smoothing (node moves) and
+local refinement (structural) — interleaved with batched solves in
+deterministic virtual time, and *differentially verifies every step*:
+after each delta the updated context's products and solves are compared
+**bitwise** (oracle mode) against a context freshly built from the
+post-update key.  Any mismatch is a wrong answer; the CI gate requires
+zero.
+
+The same fresh build doubles as the cost baseline: each step reports the
+modeled cost of the delta path (measured on the warm context's
+simulator), of a full context rebuild (fresh build comm time plus the
+modeled recompute of every element matrix, net of nothing), and of a CSR
+reassembly (an assembled-method shadow context fed the same deltas).
+Costs are modeled virtual time, so the checked-in ``BENCH_adapt.json``
+baseline compares across machines.
+
+Outputs ``ADAPT_report.json`` (schema ``repro.adapt/1``) plus a
+bench-schema projection ``BENCH_adapt.json`` for ``repro.obs.compare``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.adapt.delta import CrackFront, MeshDelta
+from repro.obs.instrumentation import Instrumentation
+from repro.obs.schema import (
+    new_adapt_doc,
+    new_bench_doc,
+    validate_adapt_doc,
+    validate_bench_doc,
+)
+from repro.serve.cache import (
+    DEFAULT_RATE_GFLOPS,
+    OperatorCache,
+    ProblemKey,
+    SolverContext,
+)
+
+__all__ = ["AdaptScenario", "run_scenario", "run_adapt_suite", "main"]
+
+#: front granularity: the crack advances 1/N of the domain per step, so
+#: a scale delta touches ~1/N of the band — small enough for the patch
+#: path at the default 10% threshold
+_FRONT_STEPS = 8
+
+
+@dataclass(frozen=True)
+class AdaptScenario:
+    """One delta-stream scenario against a warm cached operator."""
+
+    name: str
+    kind: str  # "scale" | "move" | "refine"
+    method: str = "hymv"
+    nel: int = 4
+    n_parts: int = 2
+    steps: int = 4
+    n_rhs: int = 3
+    rtol: float = 1e-8
+    #: narrower softening band for move deltas: a moved node dirties every
+    #: incident element, so the same band touches ~3x more elements
+    half_width: float = 0.26
+
+
+def suite_scenarios(smoke: bool = True) -> list[AdaptScenario]:
+    """The standard scenario set (same structure in smoke and full)."""
+    steps = 4 if smoke else 8
+    nel = 4 if smoke else 6
+    n_parts = 2 if smoke else 4
+    return [
+        AdaptScenario("crack-scale", "scale", nel=nel, n_parts=n_parts,
+                      steps=steps),
+        AdaptScenario("crack-coords", "move", nel=nel, n_parts=n_parts,
+                      steps=steps, half_width=0.08),
+        AdaptScenario("refine-local", "refine", nel=nel, n_parts=n_parts,
+                      steps=min(steps, 3)),
+        AdaptScenario("crack-scale-assembled", "scale", method="assembled",
+                      nel=nel, n_parts=n_parts, steps=steps),
+    ]
+
+
+def _make_delta(cf: CrackFront, ctx: SolverContext, kind: str,
+                step: int) -> MeshDelta:
+    if kind == "scale":
+        return cf.scale_delta(ctx.spec.mesh, step, _FRONT_STEPS)
+    if kind == "move":
+        return cf.move_delta(ctx.spec, step, _FRONT_STEPS, amplitude=2e-3)
+    if kind == "refine":
+        return cf.refine_delta(ctx.spec.mesh, step, _FRONT_STEPS)
+    raise ValueError(f"unknown delta kind {kind!r}")
+
+
+def run_scenario(sc: AdaptScenario, seed: int = 1234) -> dict[str, Any]:
+    """Run one scenario; returns its schema-conforming report entry."""
+    obs = Instrumentation(rank=-1)
+    cache = OperatorCache(capacity=4, obs=obs)
+    key = ProblemKey(
+        problem="poisson", nel=sc.nel, n_parts=sc.n_parts, etype="tet4",
+        seed=seed % 100, method=sc.method,
+    )
+    ctx, _ = cache.get(key)
+    # shadow baseline: the same delta stream against the assembled-CSR
+    # operator (reassembly on every update) on its own simulator
+    shadow = SolverContext(
+        ProblemKey(
+            problem="poisson", nel=sc.nel, n_parts=sc.n_parts, etype="tet4",
+            seed=seed % 100, method="assembled",
+        )
+    )
+    cf = CrackFront(half_width=sc.half_width)
+    rng = np.random.default_rng(seed)
+    kf = ctx.spec.operator.ke_flops(ctx.spec.mesh.etype)
+    rate = ctx.modeled_rate or DEFAULT_RATE_GFLOPS
+
+    patches = rebuilds = touched_total = checks = bitwise = wrong = 0
+    max_fraction = 0.0
+    delta_s = rebuild_s = reassembly_s = 0.0
+    detail: list[dict[str, Any]] = []
+    for step in range(sc.steps):
+        delta = _make_delta(cf, ctx, sc.kind, step)
+        # -- serve-path update (re-keys the cached context in place)
+        key, info = cache.update(key, delta)
+        ctx = cache.peek(key)
+        assert ctx is not None and info is not None
+        patches += info["path"] == "patch"
+        rebuilds += info["path"] == "full_rebuild"
+        touched_total += info["touched"]
+        max_fraction = max(max_fraction, info["fraction"])
+        delta_s += info["vtime"]
+
+        # -- reassembly baseline: same delta on the assembled shadow
+        rinfo = shadow.apply_delta(delta)
+        reassembly_s += rinfo["vtime"]
+
+        # -- full-rebuild baseline: fresh context from the post-update
+        # key; its build time is comm-modeled, the element-matrix work is
+        # the analytic E * ke_flops / rate it would pay with no reuse
+        fresh = SolverContext(key)
+        step_rebuild = (
+            fresh.build_vtime + ctx.spec.mesh.n_elements * kf / (rate * 1e9)
+        )
+        rebuild_s += step_rebuild
+
+        # -- differential verification, bitwise in oracle mode: the
+        # delta-updated context must be indistinguishable from the fresh
+        # build on single-RHS, multi-RHS and solve paths
+        n = ctx.n_dofs
+        step_wrong = 0
+        for k in (1, sc.n_rhs):
+            X = rng.standard_normal((n, k))
+            Yd, _ = ctx.apply_multi(X, mode="oracle")
+            Yf, _ = fresh.apply_multi(X, mode="oracle")
+            checks += 1
+            if np.array_equal(Yd, Yf):
+                bitwise += 1
+            else:
+                step_wrong += 1
+        F = rng.standard_normal((n, 2))
+        Sd, _ = ctx.solve_multi(F, rtol=sc.rtol, mode="oracle")
+        Sf, _ = fresh.solve_multi(F, rtol=sc.rtol, mode="oracle")
+        checks += 1
+        if (
+            np.array_equal(Sd["x"], Sf["x"])
+            and Sd["iterations"] == Sf["iterations"]
+        ):
+            bitwise += 1
+        else:
+            step_wrong += 1
+        wrong += step_wrong
+        if step_wrong:
+            obs.incr("adapt.wrong_answers", step_wrong)
+
+        # -- serving continues on the warm context between deltas
+        F = rng.standard_normal((n, sc.n_rhs))
+        out, _ = ctx.solve_multi(F, rtol=sc.rtol)
+        if not all(out["converged"]):
+            wrong += 1
+            obs.incr("adapt.wrong_answers")
+
+        detail.append({
+            "step": step,
+            "delta": delta.describe(),
+            "path": info["path"],
+            "touched": info["touched"],
+            "fraction": info["fraction"],
+            "delta_s": info["vtime"],
+            "rebuild_s": step_rebuild,
+            "reassembly_s": rinfo["vtime"],
+        })
+
+    counters = {
+        k: v for k, v in ctx.counters().items() if k.startswith("update.")
+    }
+    counters["adapt.wrong_answers"] = obs.counter("adapt.wrong_answers")
+    return {
+        "scenario": sc.name,
+        "method": sc.method,
+        "n_parts": sc.n_parts,
+        "n_dofs": ctx.n_dofs,
+        "steps": sc.steps,
+        "deltas": {
+            "applied": sc.steps,
+            "patches": patches,
+            "rebuilds": rebuilds,
+            "touched_total": touched_total,
+            "max_fraction": max_fraction,
+        },
+        "verify": {
+            "checks": checks,
+            "bitwise": bitwise,
+            "wrong_answers": wrong,
+        },
+        "costs": {
+            "delta_s": delta_s,
+            "rebuild_s": rebuild_s,
+            "reassembly_s": reassembly_s,
+            "speedup_vs_rebuild": rebuild_s / delta_s if delta_s else 0.0,
+        },
+        "cache": cache.stats(),
+        "steps_detail": detail,
+        "counters": counters,
+    }
+
+
+def run_adapt_suite(
+    seed: int = 1234, smoke: bool = True, verbose: bool = True
+) -> tuple[dict[str, Any], dict[str, Any]]:
+    """Run the standard scenarios; returns ``(adapt_doc, bench_doc)``."""
+    doc = new_adapt_doc(config={"seed": seed, "smoke": smoke})
+    for sc in suite_scenarios(smoke=smoke):
+        if verbose:
+            print(f"[adapt] scenario {sc.name} ...", flush=True)
+        entry = run_scenario(sc, seed=seed)
+        doc["scenarios"].append(entry)
+        if verbose:
+            v, c = entry["verify"], entry["costs"]
+            print(
+                f"[adapt]   {entry['deltas']['patches']} patch / "
+                f"{entry['deltas']['rebuilds']} rebuild, "
+                f"verify {v['bitwise']}/{v['checks']} bitwise, "
+                f"delta {c['delta_s'] * 1e3:.3f} ms vs rebuild "
+                f"{c['rebuild_s'] * 1e3:.3f} ms "
+                f"({c['speedup_vs_rebuild']:.1f}x), "
+                f"wrong {v['wrong_answers']}"
+            )
+    return validate_adapt_doc(doc), validate_bench_doc(_bench_doc(doc))
+
+
+def _bench_doc(adapt_doc: dict[str, Any]) -> dict[str, Any]:
+    """Project the adapt report onto the standard bench schema so the
+    existing ``repro.obs.compare`` gate applies unchanged."""
+    bench = new_bench_doc(
+        suite="adapt", repeats=1, config=dict(adapt_doc["config"])
+    )
+    for sc in adapt_doc["scenarios"]:
+        steps = sc["steps_detail"]
+        phases = {}
+        for label in ("delta_s", "rebuild_s", "reassembly_s"):
+            vals = sorted(st[label] for st in steps)
+            phases[f"adapt.update.{label[:-2]}"] = {
+                "median": vals[len(vals) // 2],
+                "min": vals[0],
+                "max": vals[-1],
+                "repeats": len(vals),
+            }
+        counters = {
+            "adapt.checks": sc["verify"]["checks"],
+            "adapt.bitwise": sc["verify"]["bitwise"],
+            "adapt.wrong_answers": sc["verify"]["wrong_answers"],
+            "adapt.patches": sc["deltas"]["patches"],
+            "adapt.rebuilds": sc["deltas"]["rebuilds"],
+        }
+        bench["results"].append({
+            "case": f"adapt-{sc['scenario']}",
+            "method": sc["method"],
+            "n_parts": sc["n_parts"],
+            "n_dofs": sc["n_dofs"],
+            "phases": phases,
+            "counters": counters,
+        })
+    return bench
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.harness adapt",
+        description="Incremental-update harness: delta streams against "
+        "warm cached operators, every step differentially verified "
+        "(bitwise) against a fresh build; emits ADAPT_report.json "
+        "(+ BENCH_adapt.json for the compare gate)",
+    )
+    ap.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized scenarios (fewer steps; same structure)",
+    )
+    ap.add_argument("--seed", type=int, default=1234)
+    ap.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path("ADAPT_report.json"),
+        help="adapt report path (default: ./ADAPT_report.json)",
+    )
+    ap.add_argument(
+        "--bench-out",
+        type=pathlib.Path,
+        default=pathlib.Path("BENCH_adapt.json"),
+        help="bench-schema projection path (default: ./BENCH_adapt.json)",
+    )
+    ap.add_argument("--quiet", action="store_true")
+    args = ap.parse_args(argv)
+
+    doc, bench = run_adapt_suite(
+        seed=args.seed, smoke=args.smoke, verbose=not args.quiet
+    )
+    for path, payload in ((args.out, doc), (args.bench_out, bench)):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    wrong = sum(sc["verify"]["wrong_answers"] for sc in doc["scenarios"])
+    if not args.quiet:
+        print(f"\n[adapt] wrote {args.out} and {args.bench_out}")
+    if wrong:
+        print(f"[adapt] FAIL: {wrong} wrong answer(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

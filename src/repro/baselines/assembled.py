@@ -25,7 +25,7 @@ from repro.core.scatter import (
 from repro.fem.operators import Operator
 from repro.partition.interface import LocalMesh
 from repro.simmpi.communicator import Communicator
-from repro.util.arrays import INDEX_DTYPE
+from repro.util.arrays import INDEX_DTYPE, as_index
 
 __all__ = ["AssembledOperator"]
 
@@ -39,24 +39,54 @@ class AssembledOperator:
         lmesh: LocalMesh,
         operator: Operator,
         ranges: np.ndarray | None = None,
+        elem_scale: np.ndarray | None = None,
     ):
         self.comm = comm
         self.lmesh = lmesh
         self.operator = operator
         self.ndpn = operator.ndpn
         self.etype = lmesh.etype
-        ndpn = self.ndpn
 
         if ranges is None:
             ranges = np.asarray(
                 comm.allgather((lmesh.n_begin, lmesh.n_end)), dtype=INDEX_DTYPE
             )
-        ends = ranges[:, 1]
+        self._ranges = ranges
+        # element inputs the assembly is a pure function of; coords start
+        # as a reference to the local mesh and go copy-on-write on the
+        # first coordinate update
+        self._coords = lmesh.coords
+        self._elem_scale: np.ndarray | None = None
+        if elem_scale is not None:
+            scale = np.asarray(elem_scale, dtype=np.float64)
+            if scale.shape != (lmesh.n_local_elements,):
+                raise ValueError(
+                    f"elem_scale shape {scale.shape} != "
+                    f"({lmesh.n_local_elements},) local elements"
+                )
+            self._elem_scale = np.ascontiguousarray(scale)
+        self.spmv_count = 0
+        # mode="auto" crossover (None -> kernels.DEFAULT_K_MIN); the
+        # gemm path's work multivectors are cached per column count
+        self.gemm_k_min: int | None = None
+        self._assemble("setup")
 
-        with comm.compute("setup.emat_compute"):
-            ke = operator.element_matrices(lmesh.coords, lmesh.etype)
+    def _assemble(self, prefix: str) -> None:
+        """Full parallel assembly from the current coords/scale state
+        (collective).  ``prefix`` labels the timing phases: ``setup.*``
+        at construction, ``update.*`` when re-run by
+        :meth:`update_elements` — the assembled baseline's answer to an
+        adaptive update *is* a full reassembly, which is exactly the
+        cost structure the adaptive operators avoid."""
+        comm, lmesh, ndpn = self.comm, self.lmesh, self.ndpn
+        ends = self._ranges[:, 1]
 
-        with comm.compute("setup.assembly_local"):
+        with comm.compute(f"{prefix}.emat_compute"):
+            ke = self.operator.element_matrices(self._coords, lmesh.etype)
+            if self._elem_scale is not None:
+                ke = ke * self._elem_scale[:, None, None]
+
+        with comm.compute(f"{prefix}.assembly_local"):
             n = self.etype.n_nodes
             nd = n * ndpn
             gdofs = (
@@ -79,9 +109,9 @@ class AssembledOperator:
         # the expensive part: off-rank row contributions to their owners
         t0 = comm.vtime
         received = comm.alltoall(per_dest)
-        comm.timing.add("setup.comm", comm.vtime - t0)
+        comm.timing.add(f"{prefix}.comm", comm.vtime - t0)
 
-        with comm.compute("setup.assembly_local"):
+        with comm.compute(f"{prefix}.assembly_local"):
             rparts = [(rows[mine], cols[mine], vals[mine])] + [
                 t for t in received if t is not None
             ]
@@ -117,15 +147,63 @@ class AssembledOperator:
             self.nnz = A_ext.nnz
 
         t0 = comm.vtime
-        self.cmaps = build_comm_maps(comm, self.maps, ranges=ranges)
-        comm.timing.add("setup.comm_maps", comm.vtime - t0)
+        self.cmaps = build_comm_maps(comm, self.maps, ranges=self._ranges)
+        comm.timing.add(f"{prefix}.comm_maps", comm.vtime - t0)
 
         self.n_dofs_owned = n_owned_dofs
-        self.spmv_count = 0
-        # mode="auto" crossover (None -> kernels.DEFAULT_K_MIN); the
-        # gemm path's work multivectors are cached per column count
-        self.gemm_k_min: int | None = None
         self._work_multi: dict[int, DistributedMultiVector] = {}
+        # the node maps may change across a reassembly (halo columns
+        # follow the values' sparsity), so cached work vectors must not
+        # survive it
+        if hasattr(self, "_work_u"):
+            del self._work_u
+
+    # ------------------------------------------------------------------
+
+    def update_elements(
+        self,
+        local_elems: np.ndarray,
+        coords: np.ndarray | None = None,
+        stiffness_scale: float | np.ndarray | None = None,
+    ) -> None:
+        """Patch element inputs, then reassemble the whole distributed
+        CSR (timed as ``update.*``).  Collective: every rank must call,
+        even with an empty subset — there is no local-only update for an
+        assembled matrix, which is the baseline cost the harness measures
+        the adaptive operators against.  Signature and absolute-scale
+        semantics match
+        :meth:`repro.core.hymv.EbeOperatorBase.update_elements`."""
+        local_elems = as_index(local_elems)
+        if local_elems.size:
+            lo = int(local_elems.min())
+            hi = int(local_elems.max())
+            n_local = self.lmesh.n_local_elements
+            if lo < 0 or hi >= n_local:
+                raise IndexError(
+                    f"update_elements: local element ids out of range "
+                    f"[{lo}, {hi}] vs {n_local} local elements"
+                )
+            if coords is not None:
+                coords = np.asarray(coords, dtype=np.float64)
+                want = (local_elems.size, self.etype.n_nodes, 3)
+                if coords.shape != want:
+                    raise ValueError(
+                        f"coords shape {coords.shape} != {want} for "
+                        f"{local_elems.size} updated elements"
+                    )
+                if self._coords is self.lmesh.coords:
+                    self._coords = self.lmesh.coords.copy()
+                self._coords[local_elems] = coords
+            if stiffness_scale is not None:
+                scale = np.broadcast_to(
+                    np.asarray(stiffness_scale, dtype=np.float64),
+                    (local_elems.size,),
+                )
+                if self._elem_scale is None:
+                    self._elem_scale = np.ones(self.lmesh.n_local_elements)
+                self._elem_scale[local_elems] = scale
+            self.comm.obs.incr("update.elements", local_elems.size)
+        self._assemble("update")
 
     # ------------------------------------------------------------------
 

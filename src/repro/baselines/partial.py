@@ -36,10 +36,11 @@ class PartialAssemblyOperator(EbeOperatorBase):
     """Matrix-free with precomputed geometric factors (libCEED-style)."""
 
     def __init__(self, comm, lmesh, operator, ranges=None, kernel="einsum",
-                 modeled_rate_gflops=None, workspace=True):
+                 modeled_rate_gflops=None, workspace=True, elem_scale=None):
         super().__init__(
             comm, lmesh, operator, ranges=ranges, kernel=kernel,
             modeled_rate_gflops=modeled_rate_gflops, workspace=workspace,
+            elem_scale=elem_scale,
         )
         if not isinstance(operator, (PoissonOperator, ElasticityOperator)):
             raise TypeError(
@@ -49,31 +50,65 @@ class PartialAssemblyOperator(EbeOperatorBase):
         quad = operator.quad or quadrature_for(self.etype)
         sf = shape_functions_for(self.etype)
         self._dN = sf.grad(quad.points)  # (q, n, 3)
+        self._qw = quad.weights
+        self._N = (
+            sf.eval(quad.points)
+            if isinstance(operator, PoissonOperator)
+            and operator.coefficient is not None
+            else None
+        )
         with comm.compute("setup.geom_factors"):
-            _, detJ, invJ = jacobians(self._dN, self._coords_perm)
-            wd = quad.weights[None, :] * detJ  # (E, q)
-            if (
-                isinstance(operator, PoissonOperator)
-                and operator.coefficient is not None
-            ):
-                N = sf.eval(quad.points)
-                xq = np.einsum(
-                    "qn,enk->eqk", N, self._coords_perm, optimize=True
-                )
-                kappa = np.asarray(
-                    operator.coefficient(xq), dtype=np.float64
-                )
-                wd = wd * kappa.reshape(wd.shape)
+            fa, fb = self._geom_factors(
+                self._coords_perm,
+                None if self._scale_perm is None else self._scale_perm,
+            )
             if isinstance(operator, PoissonOperator):
-                # G[e,q] = wd * invJ^T invJ in *reference* indices
-                # (symmetric; stored dense 3x3 for kernel simplicity —
-                # still ~nd²/(9 q) smaller than Ke)
-                self._G = np.einsum(
-                    "eqdk,eqdl,eq->eqkl", invJ, invJ, wd, optimize=True
-                )
+                self._G = fa
             else:
-                self._invJ = invJ
-                self._wd = wd
+                self._invJ = fa
+                self._wd = fb
+
+    def _geom_factors(self, coords, scale):
+        """Geometric factors of an element-coordinate batch (row-wise
+        bitwise batch-independent, so a subset refresh produces exactly
+        the rows a full fresh build would)."""
+        _, detJ, invJ = jacobians(self._dN, coords)
+        wd = self._qw[None, :] * detJ  # (E, q)
+        if self._N is not None:
+            xq = np.einsum("qn,enk->eqk", self._N, coords, optimize=True)
+            kappa = np.asarray(
+                self.operator.coefficient(xq), dtype=np.float64
+            )
+            wd = wd * kappa.reshape(wd.shape)
+        if scale is not None:
+            # the stiffness scale folds into the quadrature weights (the
+            # operator is linear in wd); 1.0 rows are bitwise untouched
+            wd = wd * scale[:, None]
+        if isinstance(self.operator, PoissonOperator):
+            # G[e,q] = wd * invJ^T invJ in *reference* indices
+            # (symmetric; stored dense 3x3 for kernel simplicity —
+            # still ~nd²/(9 q) smaller than Ke)
+            G = np.einsum(
+                "eqdk,eqdl,eq->eqkl", invJ, invJ, wd, optimize=True
+            )
+            return G, None
+        return invJ, wd
+
+    def _refresh_elements(self, pos) -> None:
+        """Recompute the stored geometric factors of the updated rows
+        only — the partial-assembly analogue of HYMV's subset ``Ke``
+        recomputation."""
+        with self.comm.compute("update.geom_factors"):
+            scale = (
+                None if self._scale_perm is None else self._scale_perm[pos]
+            )
+            fa, fb = self._geom_factors(self._coords_perm[pos], scale)
+            if isinstance(self.operator, PoissonOperator):
+                self._G[pos] = fa
+            else:
+                self._invJ[pos] = fa
+                self._wd[pos] = fb
+        self.comm.obs.incr("update.ke_recomputed", pos.size)
 
     # ------------------------------------------------------------------
 
@@ -202,9 +237,12 @@ class PartialAssemblyOperator(EbeOperatorBase):
     # ------------------------------------------------------------------
 
     def _element_matrices(self, sl: slice) -> np.ndarray:
-        return self.operator.element_matrices(
+        ke = self.operator.element_matrices(
             self._coords_perm[sl], self.etype
         )
+        if self._scale_perm is not None:
+            ke *= self._scale_perm[sl][:, None, None]
+        return ke
 
     # ------------------------------------------------------------------
 

@@ -59,6 +59,7 @@ class EbeOperatorBase:
         kernel: str = "einsum",
         modeled_rate_gflops: float | None = None,
         workspace: bool = True,
+        elem_scale: np.ndarray | None = None,
     ):
         self.comm = comm
         self.lmesh = lmesh
@@ -100,6 +101,21 @@ class EbeOperatorBase:
                     )
             self._e2g_perm = lmesh.e2g[self._order]
             self._coords_perm = lmesh.coords[self._order]
+            # optional per-element stiffness scale (local mesh order),
+            # stored in permuted order like coords.  Absolute semantics:
+            # the effective element matrix is always
+            # ``scale * Ke(coords)`` — multiplying by 1.0 is an IEEE-754
+            # no-op, so a fresh build with a partially-1.0 scale array is
+            # bitwise identical to an unscaled build on the 1.0 rows.
+            self._scale_perm: np.ndarray | None = None
+            if elem_scale is not None:
+                scale = np.asarray(elem_scale, dtype=np.float64)
+                if scale.shape != (lmesh.n_local_elements,):
+                    raise ValueError(
+                        f"elem_scale shape {scale.shape} != "
+                        f"({lmesh.n_local_elements},) local elements"
+                    )
+                self._scale_perm = np.ascontiguousarray(scale[self._order])
 
         t0 = comm.vtime
         if ranges is None:
@@ -568,6 +584,83 @@ class EbeOperatorBase:
             block = sp.coo_matrix((v, (r, c)), shape=(n, n)).tocsr()
         return block
 
+    # -- adaptivity (the XFEM / AMR use-case, paper §I & §III) ------------
+
+    def update_elements(
+        self,
+        local_elems: np.ndarray,
+        coords: np.ndarray | None = None,
+        stiffness_scale: float | np.ndarray | None = None,
+    ) -> None:
+        """Update a subset of local elements in place.
+
+        This is the "adaptive-matrix" property: enrichment/refinement of
+        a few elements costs only their recomputation — no global
+        assembly.  ``local_elems`` are indices into the local mesh's
+        element list; ``coords`` optionally replaces the subset's node
+        coordinates; ``stiffness_scale`` sets the subset's *absolute*
+        per-element stiffness scale (a simple model of XFEM-style
+        stiffness modification of cracked elements) — re-applying the
+        same scale is idempotent, and the scale persists across later
+        coordinate updates of the same element.
+
+        Both updates are persisted (permuted coords / scale arrays), so
+        the post-update operator state is indistinguishable from a fresh
+        build on the updated inputs; subclasses refresh their stored
+        products via :meth:`_refresh_elements`.  Raises ``IndexError``
+        on any out-of-range (or negative) index rather than letting
+        fancy indexing wrap or clip it into silently-wrong numerics —
+        same hardening as the e2l map check at setup.
+        """
+        local_elems = as_index(local_elems)
+        if local_elems.size == 0:
+            return
+        lo = int(local_elems.min())
+        hi = int(local_elems.max())
+        if lo < 0 or hi >= self.n_local_elements:
+            raise IndexError(
+                f"update_elements: local element ids out of range "
+                f"[{lo}, {hi}] vs {self.n_local_elements} local elements"
+            )
+        pos = self._inv_order[local_elems]
+        if coords is not None:
+            coords = np.asarray(coords, dtype=np.float64)
+            want = (pos.size, self.etype.n_nodes, 3)
+            if coords.shape != want:
+                raise ValueError(
+                    f"coords shape {coords.shape} != {want} for "
+                    f"{pos.size} updated elements"
+                )
+            self._coords_perm[pos] = coords
+        if stiffness_scale is not None:
+            scale = np.broadcast_to(
+                np.asarray(stiffness_scale, dtype=np.float64), (pos.size,)
+            )
+            if self._scale_perm is None:
+                self._scale_perm = np.ones(self.lmesh.n_local_elements)
+            self._scale_perm[pos] = scale
+        self._refresh_elements(pos)
+        self._invalidate_multi_caches()
+        self.comm.obs.incr("update.elements", pos.size)
+
+    def _refresh_elements(self, pos: np.ndarray) -> None:
+        """Refresh stored per-element products for permuted positions
+        ``pos`` after a coords/scale change.  The base class stores
+        nothing derived (matrix-free recomputes per product), so the
+        default is a no-op."""
+
+    def _invalidate_multi_caches(self) -> None:
+        """Drop per-``k`` GEMM workspace views and work multivectors
+        after an in-place update, so no cached scratch view outlives the
+        element state it was sized against (halo exchanges depend only
+        on the comm maps, which an in-place update never changes)."""
+        if self._ws is not None:
+            self._ws.clear_multi()
+        for seg in (self._seg_indep, self._seg_dep, self._seg_all):
+            if seg is not None:
+                seg._multi.clear()
+        self._work_multi.clear()
+
     # -- cost accounting --------------------------------------------------
 
     @property
@@ -605,15 +698,19 @@ class HymvOperator(EbeOperatorBase):
         modeled_rate_gflops: float | None = None,
         ke_cache: dict | None = None,
         workspace: bool = True,
+        elem_scale: np.ndarray | None = None,
     ):
         """``ke_cache`` optionally maps *global element ids* to previously
         computed element matrices (e.g. carried across an adaptive
         refinement via :class:`repro.mesh.adapt.LocalRefinement`
         ancestry); cache hits skip the elemental computation — the
-        adaptive-matrix property across mesh changes."""
+        adaptive-matrix property across mesh changes.  Cached entries
+        already embed their stiffness scale, so ``elem_scale`` is applied
+        only to freshly computed rows."""
         super().__init__(
             comm, lmesh, operator, ranges=ranges, kernel=kernel,
             modeled_rate_gflops=modeled_rate_gflops, workspace=workspace,
+            elem_scale=elem_scale,
         )
         gids = lmesh.elements[self._order]
         if ke_cache:
@@ -624,9 +721,12 @@ class HymvOperator(EbeOperatorBase):
         ke = np.empty((gids.size, nd, nd))
         with comm.compute("setup.emat_compute"):
             if not hit.all():
-                ke[~hit] = operator.element_matrices(
+                kx = operator.element_matrices(
                     self._coords_perm[~hit], lmesh.etype
                 )
+                if self._scale_perm is not None:
+                    kx = kx * self._scale_perm[~hit][:, None, None]
+                ke[~hit] = kx
         with comm.compute("setup.local_copy"):
             if hit.any():
                 ke[hit] = np.stack(
@@ -658,36 +758,26 @@ class HymvOperator(EbeOperatorBase):
 
     # -- adaptivity (the XFEM / AMR use-case, paper §I & §III) ------------
 
-    def update_elements(
-        self,
-        local_elems: np.ndarray,
-        coords: np.ndarray | None = None,
-        stiffness_scale: float | np.ndarray | None = None,
-    ) -> None:
-        """Recompute the element matrices of a subset of local elements.
-
-        This is the "adaptive-matrix" property: enrichment/refinement of a
-        few elements costs only their recomputation — no global assembly.
-        ``local_elems`` are indices into the local mesh's element list;
-        ``coords`` optionally overrides the subset's node coordinates;
-        ``stiffness_scale`` scales the recomputed matrices (a simple model
-        of XFEM-style stiffness modification of cracked elements).
-        """
-        local_elems = as_index(local_elems)
-        if local_elems.size == 0:
-            return
-        pos = self._inv_order[local_elems]
-        if coords is None:
-            coords = self._coords_perm[pos]
+    def _refresh_elements(self, pos: np.ndarray) -> None:
+        """Recompute and store the element matrices at permuted positions
+        ``pos`` from the (already updated) persisted coords and scale —
+        the cost of an adaptive update is exactly these ``pos.size``
+        elemental computations, nothing global."""
         with self.comm.compute("update.emat_compute"):
-            ke = self.operator.element_matrices(coords, self.etype)
-            if stiffness_scale is not None:
-                scale = np.asarray(stiffness_scale, dtype=np.float64)
-                ke = ke * scale.reshape(-1, 1, 1)
+            ke = self.operator.element_matrices(
+                self._coords_perm[pos], self.etype
+            )
+            if self._scale_perm is not None:
+                ke = ke * self._scale_perm[pos][:, None, None]
         with self.comm.compute("update.local_copy"):
             self.ke[pos] = ke
             if self._kcol is not None:
                 self._kcol[:, pos] = ke.transpose(2, 0, 1)
+        self.comm.obs.incr("update.ke_recomputed", pos.size)
+        self.comm.obs.incr(
+            "update.ke_flops",
+            pos.size * self.operator.ke_flops(self.etype),
+        )
 
     def stored_bytes(self) -> int:
         """Memory footprint of the stored element matrices."""

@@ -275,6 +275,12 @@ class EmvWorkspace:
         ue, ve = self._multi[k]
         return ue[:n], ve[:n]
 
+    def clear_multi(self) -> None:
+        """Drop the per-``k`` multivector scratch (after an in-place
+        operator update, so no stale view outlives the element batch it
+        was sized against)."""
+        self._multi.clear()
+
 
 def gather_element_vectors(
     flat_data: np.ndarray,

@@ -61,10 +61,12 @@ class HymvGpuOperator(HymvOperator):
         machine: FronteraMachine = FRONTERA,
         threads: int = 4,
         workspace: bool = True,
+        ke_cache: dict | None = None,
+        elem_scale: np.ndarray | None = None,
     ):
         super().__init__(
             comm, lmesh, operator, ranges=ranges, kernel=kernel,
-            workspace=workspace,
+            workspace=workspace, ke_cache=ke_cache, elem_scale=elem_scale,
         )
         if scheme not in ("gpu", "gpu_cpu_overlap", "gpu_gpu_overlap"):
             raise ValueError(f"unknown GPU scheme {scheme!r}")
@@ -77,6 +79,17 @@ class HymvGpuOperator(HymvOperator):
         # one-time element-matrix transfer to the device
         t_h2d = self.ke.nbytes / (gpu.setup_h2d_gbps * 1e9)
         comm.advance(t_h2d, "setup.ke_h2d")
+
+    def _refresh_elements(self, pos) -> None:
+        """Host recompute plus the H2D transfer of only the touched
+        element matrices — the device-side adaptive update stays
+        proportional to the touched subset, like the host one."""
+        super()._refresh_elements(pos)
+        nd = self.e2l_dofs.shape[1]
+        touched_bytes = pos.size * nd * nd * 8.0
+        self.comm.advance(
+            touched_bytes / (self.gpu.setup_h2d_gbps * 1e9), "update.ke_h2d"
+        )
 
     # -- device-side sweep -------------------------------------------------
 
@@ -281,13 +294,28 @@ class AssembledGpuOperator(AssembledOperator):
         operator,
         ranges=None,
         gpu: GpuModel = GPU_NODE,
+        elem_scale=None,
     ):
-        super().__init__(comm, lmesh, operator, ranges=ranges)
+        super().__init__(
+            comm, lmesh, operator, ranges=ranges, elem_scale=elem_scale
+        )
         self.gpu = gpu
         csr_bytes = self.stored_bytes()
         comm.advance(
             csr_bytes / (gpu.setup_h2d_gbps * 1e9) + self.nnz * 2.0e-9,
             "setup.csr_h2d",
+        )
+
+    def update_elements(self, local_elems, coords=None, stiffness_scale=None):
+        """Full reassembly plus re-upload of the whole CSR — values and
+        structure both changed, so the device copy is rebuilt outright."""
+        super().update_elements(
+            local_elems, coords=coords, stiffness_scale=stiffness_scale
+        )
+        csr_bytes = self.stored_bytes()
+        self.comm.advance(
+            csr_bytes / (self.gpu.setup_h2d_gbps * 1e9) + self.nnz * 2.0e-9,
+            "update.csr_h2d",
         )
 
     def apply_owned(self, x: np.ndarray, copy: bool = True) -> np.ndarray:

@@ -32,6 +32,8 @@ _COMMANDS = {
               "SERVE_report.json (--smoke for CI size)"),
     "shard": ("repro.serve.shardload", "sharded-tier Zipf load harness -> "
               "SHARD_report.json (--smoke for CI size)"),
+    "adapt": ("repro.adapt.harness", "incremental-update harness -> "
+              "ADAPT_report.json (--smoke for CI size)"),
 }
 
 # (example invocation, what it does) — the single source of the usage block
@@ -49,6 +51,8 @@ _EXAMPLES = (
      "load harness -> SERVE_report.json"),
     ("python -m repro.harness shard --smoke",
      "sharded tier -> SHARD_report.json"),
+    ("python -m repro.harness adapt --smoke",
+     "delta updates -> ADAPT_report.json"),
 )
 
 

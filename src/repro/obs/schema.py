@@ -17,6 +17,7 @@ import time
 from typing import Any
 
 __all__ = [
+    "ADAPT_SCHEMA",
     "BENCH_SCHEMA",
     "CHAOS_SCHEMA",
     "SERVE_SCHEMA",
@@ -24,10 +25,12 @@ __all__ = [
     "SHARD_SCHEMA",
     "SchemaError",
     "machine_fingerprint",
+    "new_adapt_doc",
     "new_bench_doc",
     "new_chaos_doc",
     "new_serve_doc",
     "new_shard_doc",
+    "validate_adapt_doc",
     "validate_bench_doc",
     "validate_chaos_doc",
     "validate_serve_doc",
@@ -55,6 +58,13 @@ SERVE_SCHEMA_V1 = "repro.serve/1"
 #: the serve report, adding per-shard utilization, replication state,
 #: per-tenant stats and failover counts.
 SHARD_SCHEMA = "repro.shard/1"
+
+#: Adapt-report schema (``ADAPT_report.json`` written by
+#: ``python -m repro.harness adapt``): incremental-update scenarios —
+#: per-scenario delta accounting (patches vs rebuilds), differential
+#: verification tallies (delta-updated vs freshly built, bitwise) and the
+#: modeled cost comparison delta / full rebuild / CSR reassembly.
+ADAPT_SCHEMA = "repro.adapt/1"
 
 _PHASE_STAT_KEYS = ("median", "min", "max", "repeats")
 _RESULT_REQUIRED = ("case", "method", "n_parts", "n_dofs", "phases", "counters")
@@ -350,4 +360,72 @@ def validate_shard_doc(doc: Any) -> dict[str, Any]:
         for label in ("tenants", "batch_histogram", "modes", "counters"):
             if not isinstance(sc[label], dict):
                 raise SchemaError(f"{where}.{label} must be an object")
+    return doc
+
+
+# ----------------------------------------------------------------------------
+# adapt report
+# ----------------------------------------------------------------------------
+
+_ADAPT_SCENARIO_REQUIRED = (
+    "scenario", "method", "n_parts", "n_dofs", "steps", "deltas", "verify",
+    "costs", "cache", "steps_detail", "counters",
+)
+_ADAPT_DELTA_KEYS = (
+    "applied", "patches", "rebuilds", "touched_total", "max_fraction",
+)
+_ADAPT_VERIFY_KEYS = ("checks", "bitwise", "wrong_answers")
+_ADAPT_COST_KEYS = (
+    "delta_s", "rebuild_s", "reassembly_s", "speedup_vs_rebuild",
+)
+
+
+def new_adapt_doc(config: dict[str, Any] | None = None) -> dict[str, Any]:
+    """An empty, schema-conforming adapt report."""
+    return {
+        "schema": ADAPT_SCHEMA,
+        "created_unix": time.time(),
+        "machine": machine_fingerprint(),
+        "config": dict(config or {}),
+        "scenarios": [],
+    }
+
+
+def validate_adapt_doc(doc: Any) -> dict[str, Any]:
+    """Validate a parsed adapt report; returns it on success."""
+    if not isinstance(doc, dict):
+        raise SchemaError(f"adapt doc must be an object, got {type(doc).__name__}")
+    schema = doc.get("schema")
+    if schema != ADAPT_SCHEMA:
+        raise SchemaError(
+            f"unsupported schema {schema!r} (expected {ADAPT_SCHEMA!r})"
+        )
+    for key in ("machine", "config", "scenarios"):
+        if key not in doc:
+            raise SchemaError(f"adapt doc missing key {key!r}")
+    if not isinstance(doc["scenarios"], list):
+        raise SchemaError("'scenarios' must be a list")
+    for i, sc in enumerate(doc["scenarios"]):
+        where = f"scenarios[{i}]"
+        if not isinstance(sc, dict):
+            raise SchemaError(f"{where} must be an object")
+        for key in _ADAPT_SCENARIO_REQUIRED:
+            if key not in sc:
+                raise SchemaError(f"{where} missing key {key!r}")
+        for key in _ADAPT_DELTA_KEYS:
+            if key not in sc["deltas"]:
+                raise SchemaError(f"{where}.deltas missing key {key!r}")
+        for key in _ADAPT_VERIFY_KEYS:
+            if key not in sc["verify"]:
+                raise SchemaError(f"{where}.verify missing key {key!r}")
+        for key in _ADAPT_COST_KEYS:
+            if key not in sc["costs"]:
+                raise SchemaError(f"{where}.costs missing key {key!r}")
+        for key in ("hits", "misses", "evictions", "hit_rate"):
+            if key not in sc["cache"]:
+                raise SchemaError(f"{where}.cache missing key {key!r}")
+        if not isinstance(sc["steps_detail"], list):
+            raise SchemaError(f"{where}.steps_detail must be a list")
+        if not isinstance(sc["counters"], dict):
+            raise SchemaError(f"{where}.counters must be an object")
     return doc

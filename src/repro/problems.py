@@ -51,6 +51,16 @@ class ProblemSpec:
         default_factory=list
     )  # (global element ids, face ids, traction vector)
     analytic: Callable[[np.ndarray], np.ndarray] | None = None
+    #: optional absolute per-element stiffness scale ``(n_elements,)`` in
+    #: mesh element order (XFEM-style softening; managed by
+    #: :mod:`repro.adapt` — ``None`` means all ones)
+    elem_scale: np.ndarray | None = None
+
+    def rank_elem_scale(self, rank: int) -> np.ndarray | None:
+        """Per-element scale restricted to one rank's local elements."""
+        if self.elem_scale is None:
+            return None
+        return self.elem_scale[self.partition.local(rank).elements]
 
     @property
     def n_parts(self) -> int:

@@ -61,6 +61,10 @@ class ProblemKey:
     seed: int = 0  # mesh jitter seed (tet meshes)
     method: str = "hymv"
     kernel: str = "einsum"
+    #: applied :class:`~repro.adapt.delta.MeshDelta` history, in order —
+    #: a delta-updated operator and one built fresh from the same key are
+    #: the same servable identity (and bitwise the same operator)
+    deltas: tuple = ()
 
     def fingerprint(self) -> str:
         """Stable short hash of the canonical field tuple."""
@@ -69,53 +73,53 @@ class ProblemKey:
             f"etype={self.etype};seed={self.seed};method={self.method};"
             f"kernel={self.kernel}"
         )
+        if self.deltas:
+            canon += ";deltas=" + ",".join(
+                d.fingerprint() for d in self.deltas
+            )
         return hashlib.sha1(canon.encode()).hexdigest()[:12]
 
+    def with_delta(self, delta) -> "ProblemKey":
+        """The key of this operator after one more applied delta."""
+        from dataclasses import replace
+
+        return replace(self, deltas=self.deltas + (delta,))
+
     def build_spec(self):
-        """Materialize the :class:`~repro.problems.ProblemSpec`."""
+        """Materialize the :class:`~repro.problems.ProblemSpec`, replaying
+        the delta history so a fresh build lands on the post-update mesh."""
         from repro.mesh.element import ElementType
         from repro.problems import elastic_bar_problem, poisson_problem
 
         etype = ElementType[self.etype.upper()]
         if self.problem == "poisson":
-            return poisson_problem(
+            spec = poisson_problem(
                 self.nel, n_parts=self.n_parts, etype=etype, seed=self.seed
             )
-        if self.problem == "elastic":
-            return elastic_bar_problem(
+        elif self.problem == "elastic":
+            spec = elastic_bar_problem(
                 (self.nel, self.nel, 2 * self.nel),
                 n_parts=self.n_parts,
                 etype=etype,
             )
-        raise ValueError(f"unknown problem {self.problem!r}")
+        else:
+            raise ValueError(f"unknown problem {self.problem!r}")
+        if self.deltas:
+            from repro.adapt.apply import apply_delta_to_spec
+
+            for d in self.deltas:
+                spec, _ = apply_delta_to_spec(spec, d)
+        return spec
 
 
-def _setup_program(comm, lmesh, spec, method, kernel, modeled_rate):
-    """Per-rank setup: operator + Dirichlet machinery + preconditioner."""
-    from repro.core.maps import build_node_maps
+def _dirichlet_state(comm, A, maps, lmesh, spec) -> dict:
+    """Dirichlet machinery derived from the (current) operator: mask,
+    prescribed values, precomputed ``A u0`` and Jacobi preconditioner.
+    Shared by first setup and in-place delta updates so both paths hold
+    bitwise-identical state for the same operator."""
     from repro.core.rhs import local_node_coords
-    from repro.core.scatter import build_comm_maps
-    from repro.harness.driver import OPERATOR_FACTORIES
-
-    ranges = np.asarray(
-        comm.allgather((lmesh.n_begin, lmesh.n_end)), dtype=INDEX_DTYPE
-    )
-    options = {}
-    if method in _KERNEL_METHODS:
-        options["kernel"] = kernel
-    if method in _MODELED_METHODS and modeled_rate is not None:
-        options["modeled_rate_gflops"] = modeled_rate
-    A = OPERATOR_FACTORIES[method](
-        comm, lmesh, spec.operator, ranges=ranges, **options
-    )
 
     ndpn = spec.operator.ndpn
-    if hasattr(A, "e2l_dofs"):
-        maps = A.maps
-    else:
-        maps = build_node_maps(lmesh.e2g, lmesh.n_begin, lmesh.n_end)
-        build_comm_maps(comm, maps, ranges=ranges)
-
     owned_ids = np.arange(lmesh.n_begin, lmesh.n_end, dtype=INDEX_DTYPE)
     coords = local_node_coords(maps, lmesh)[maps.owned_slice]
     mask = np.zeros(owned_ids.size * ndpn, dtype=bool)
@@ -130,13 +134,66 @@ def _setup_program(comm, lmesh, spec, method, kernel, modeled_rate):
     d = A.diagonal_owned()
     d[mask] = 1.0
     return {
-        "A": A,
         "mask": mask,
         "u0": u0,
         "Au0": Au0,
         "M": JacobiPreconditioner(d),
         "n_owned": owned_ids.size * ndpn,
     }
+
+
+def _setup_program(comm, lmesh, spec, method, kernel, modeled_rate,
+                   ke_cache=None):
+    """Per-rank setup: operator + Dirichlet machinery + preconditioner."""
+    from repro.core.maps import build_node_maps
+    from repro.core.scatter import build_comm_maps
+    from repro.harness.driver import OPERATOR_FACTORIES
+
+    ranges = np.asarray(
+        comm.allgather((lmesh.n_begin, lmesh.n_end)), dtype=INDEX_DTYPE
+    )
+    options = {}
+    if method in _KERNEL_METHODS:
+        options["kernel"] = kernel
+    if method in _MODELED_METHODS and modeled_rate is not None:
+        options["modeled_rate_gflops"] = modeled_rate
+    if spec.elem_scale is not None:
+        options["elem_scale"] = spec.elem_scale[lmesh.elements]
+    if ke_cache is not None and method in ("hymv", "hymv_gpu"):
+        options["ke_cache"] = ke_cache
+    A = OPERATOR_FACTORIES[method](
+        comm, lmesh, spec.operator, ranges=ranges, **options
+    )
+
+    if hasattr(A, "e2l_dofs"):
+        maps = A.maps
+    else:
+        maps = build_node_maps(lmesh.e2g, lmesh.n_begin, lmesh.n_end)
+        build_comm_maps(comm, maps, ranges=ranges)
+
+    st = {"A": A, "lmesh": lmesh, "maps": maps}
+    st.update(_dirichlet_state(comm, A, maps, lmesh, spec))
+    return st
+
+
+def _update_program(comm, st, od, n_model, spec, ke_flops, rate):
+    """Per-rank in-place delta patch: update the touched element batch,
+    advance the modeled recompute time, refresh Dirichlet machinery."""
+    A = st["A"]
+    A.update_elements(
+        od.local_elems, coords=od.coords, stiffness_scale=od.scale
+    )
+    if rate and n_model:
+        comm.advance(n_model * ke_flops / (rate * 1e9), "update.modeled")
+    st.update(_dirichlet_state(comm, A, st["maps"], st["lmesh"], spec))
+
+
+def _rebuild_advance_program(comm, st, n_model, ke_flops, rate):
+    """Modeled element-recompute cost of a full rebuild (setup compute is
+    measured at ``compute_scale=0`` inside the setup program, so the
+    element-matrix work is modeled explicitly, net of ke-cache hits)."""
+    if rate and n_model > 0:
+        comm.advance(n_model * ke_flops / (rate * 1e9), "update.modeled")
 
 
 def _hat_multi(st, X, mode="auto"):
@@ -232,6 +289,11 @@ class SolverContext:
         self.n_parts = self.spec.n_parts
         self.n_dofs = self.spec.n_dofs
         self.faulted = faults is not None
+        self.modeled_rate = modeled_rate_gflops
+        #: number of deltas applied to this live context (in-place or by
+        #: rebuild-on-the-same-simulator); the key's ``deltas`` history may
+        #: be longer if the context was built fresh from a delta'd key
+        self.delta_version = 0
         self.sim = Simulator(
             self.n_parts, network=network, compute_scale=0.0, faults=faults
         )
@@ -355,6 +417,144 @@ class SolverContext:
         b2 = np.sum([r[1] for r in res], axis=0)
         return np.sqrt(r2 / np.where(b2 > 0, b2, 1.0))
 
+    # -- incremental updates -------------------------------------------
+
+    def apply_delta(self, delta, threshold: float = 0.10) -> dict:
+        """Apply one :class:`~repro.adapt.delta.MeshDelta` to the warm
+        context; returns an info dict (``path``, ``touched``,
+        ``fraction``, ``vtime``, ...).
+
+        Small non-structural deltas take the **patch** path: only the
+        touched elements' matrices are recomputed in place
+        (``update_elements``) and the touched scatter/workspace caches
+        invalidated — the paper's adaptive-matrix claim as a serving
+        operation.  Structural deltas, or deltas touching more than
+        ``threshold`` of the elements, fall back to a **full_rebuild** on
+        the same simulator, reusing unchanged element matrices as a
+        ``ke_cache`` where the method supports it.  Either way the
+        resulting operator is bitwise identical to one freshly built from
+        ``key.with_delta(delta)``.
+        """
+        from repro.adapt.apply import apply_delta_to_spec, localize_delta
+
+        if self.faulted:
+            raise RuntimeError(
+                "apply_delta on a fault-injected context is not supported "
+                "(corrupted update traffic cannot be re-verified in place)"
+            )
+        new_key = self.key.with_delta(delta)
+        t0 = self.sim.max_vtime
+        if delta.is_empty:
+            info = {"path": "patch", "touched": 0, "fraction": 0.0}
+        elif delta.is_structural:
+            spec_new, ref = apply_delta_to_spec(self.spec, delta)
+            info = self._rebuild(spec_new, ref=ref)
+            info["touched"] = int(delta.refine_elements.size)
+            info["fraction"] = (
+                delta.refine_elements.size / self.spec.mesh.n_elements
+            )
+        else:
+            spec, _ = apply_delta_to_spec(self.spec, delta)
+            touched, ods = localize_delta(spec, delta)
+            fraction = touched.size / spec.mesh.n_elements
+            if fraction > threshold:
+                info = self._rebuild(spec, exclude=touched)
+            else:
+                part = spec.partition
+                n_model = [
+                    self._model_count(ods[r].n_touched,
+                                      part.local(r).elements.size)
+                    for r in range(self.n_parts)
+                ]
+                kf = spec.operator.ke_flops(spec.mesh.etype)
+                self.sim.run(
+                    _update_program,
+                    rank_args=[
+                        (self.ranks[r], ods[r], n_model[r])
+                        for r in range(self.n_parts)
+                    ],
+                    spec=spec,
+                    ke_flops=kf,
+                    rate=self.modeled_rate,
+                )
+                info = {"path": "patch"}
+            info["touched"] = int(touched.size)
+            info["fraction"] = float(fraction)
+        info["vtime"] = self.sim.max_vtime - t0
+        self.key = new_key
+        self.delta_version += 1
+        return info
+
+    def _model_count(self, touched_local: int, n_local: int) -> int:
+        """Elements whose matrices an in-place patch recomputes on one
+        rank: the touched batch for element-wise methods, everything for
+        the assembled baselines (reassembly is all-or-nothing), nothing
+        for matrix-free (state is coords/scale only)."""
+        method = self.key.method
+        if method == "matfree":
+            return 0
+        if method.startswith("assembled"):
+            return n_local
+        return touched_local
+
+    def _rebuild(self, spec_new, ref=None, exclude=None) -> dict:
+        """Full re-setup on the same simulator, carrying unchanged
+        element matrices over as a ``ke_cache`` (hymv methods)."""
+        method = self.key.method
+        ke_cache = None
+        if method in ("hymv", "hymv_gpu"):
+            merged: dict = {}
+            for st in self.ranks:
+                merged.update(st["A"].export_ke_cache())
+            if ref is not None:
+                # refinement: an unchanged child is its ancestor, matrix
+                # and all (scale history included — it was carried over by
+                # elem_scale[ancestor])
+                ke_cache = {
+                    int(e): merged[int(ref.ancestor[e])]
+                    for e in np.flatnonzero(ref.unchanged)
+                    if int(ref.ancestor[e]) in merged
+                }
+            else:
+                drop = {int(g) for g in np.asarray(exclude).ravel()}
+                ke_cache = {
+                    g: v for g, v in merged.items() if g not in drop
+                }
+        self.spec = spec_new
+        self.n_dofs = spec_new.n_dofs
+        part = spec_new.partition
+        self.ranks = self.sim.run(
+            _setup_program,
+            rank_args=[(part.local(r),) for r in range(self.n_parts)],
+            spec=spec_new,
+            method=method,
+            kernel=self.key.kernel,
+            modeled_rate=self.modeled_rate,
+            ke_cache=ke_cache,
+        )
+        counts = [st["n_owned"] for st in self.ranks]
+        self._bounds = np.concatenate(([0], np.cumsum(counts)))
+        hits = [
+            int(getattr(st["A"], "cache_hits", 0) or 0) for st in self.ranks
+        ]
+        kf = spec_new.operator.ke_flops(spec_new.mesh.etype)
+        self.sim.run(
+            _rebuild_advance_program,
+            rank_args=[
+                (
+                    self.ranks[r],
+                    self._model_count(
+                        part.local(r).elements.size - hits[r],
+                        part.local(r).elements.size,
+                    ),
+                )
+                for r in range(self.n_parts)
+            ],
+            ke_flops=kf,
+            rate=self.modeled_rate,
+        )
+        return {"path": "full_rebuild", "ke_cache_hits": int(sum(hits))}
+
 
 class OperatorCache:
     """Bounded LRU cache of :class:`SolverContext` entries.
@@ -449,6 +649,50 @@ class OperatorCache:
             self.obs.incr(
                 f"serve.cache.tenant.{t}.{'hits' if hit else 'misses'}"
             )
+
+    def peek(self, key: ProblemKey) -> SolverContext | None:
+        """Cached context for ``key`` without touching LRU order or
+        hit/miss counters (introspection only)."""
+        return self._entries.get(key.fingerprint())
+
+    def update(self, key: ProblemKey, delta, threshold: float = 0.10):
+        """Apply ``delta`` to the cached context for ``key``, re-keying it
+        **in place** to ``key.with_delta(delta)``; returns
+        ``(new_key, info)``.
+
+        On a hit the context keeps its LRU position (an update is not a
+        use — it must not keep an otherwise-cold entry warm) and its
+        tenant accounting, and only its key changes: re-fingerprint, not
+        invalidate-and-rebuild.  On a miss nothing is built — the next
+        ``get(new_key)`` pays a fresh setup, which lands on the same
+        post-update operator because the key replays its delta history.
+
+        Either way :attr:`on_invalidate` fires for the **old** key:
+        replicas of the pre-update operator are stale no matter whether
+        this shard had it cached.
+        """
+        fp = key.fingerprint()
+        new_key = key.with_delta(delta)
+        ctx = self._entries.get(fp)
+        info = None
+        if ctx is None:
+            self.obs.incr("serve.cache.delta_misses")
+        else:
+            info = ctx.apply_delta(delta, threshold=threshold)
+            # rename in place, preserving LRU order
+            self._entries = OrderedDict(
+                (new_key.fingerprint() if k == fp else k, v)
+                for k, v in self._entries.items()
+            )
+            self.obs.incr("serve.cache.delta_updates")
+            self.obs.incr(
+                "serve.cache.delta_patches"
+                if info["path"] == "patch"
+                else "serve.cache.delta_rebuilds"
+            )
+        if self.on_invalidate is not None:
+            self.on_invalidate(key)
+        return new_key, info
 
     def invalidate(self, key: ProblemKey) -> bool:
         """Drop a (possibly poisoned) context; next ``get`` rebuilds.

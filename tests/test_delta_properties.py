@@ -1,0 +1,134 @@
+"""Property-based delta laws: composition, idempotence, no-op emptiness,
+and structural immutability of the scatter machinery under value-only
+updates.  Operator state is compared by **bytes**, not tolerance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adapt import MeshDelta
+from repro.core import HymvOperator
+from repro.fem import PoissonOperator
+from repro.mesh import ElementType
+from repro.mesh.unstructured import box_tet_mesh
+from repro.partition import build_partition
+from repro.simmpi import run_spmd
+
+N_ELEMS = 48  # box_tet_mesh(2,2,2) element count — delta id range
+
+
+def _fresh_op():
+    """A single-rank HYMV operator on a small jittered tet mesh (enough
+    elements for interesting deltas, cheap enough for Hypothesis)."""
+    mesh = box_tet_mesh(2, 2, 2, ElementType.TET4, jitter=0.2, seed=5)
+    assert mesh.n_elements == N_ELEMS
+    part = build_partition(mesh, 1, method="graph")
+    lmesh = part.local(0)
+
+    def prog(comm, lm):
+        return HymvOperator(comm, lm, PoissonOperator())
+
+    (A,), _ = run_spmd(1, prog, rank_args=[(lmesh,)])
+    return A, lmesh
+
+
+def _apply(A, delta, lmesh):
+    """Apply a (global == local on 1 rank) scale delta to the operator."""
+    if delta.scale_elements.size:
+        A.update_elements(
+            delta.scale_elements, stiffness_scale=delta.scale_values
+        )
+
+
+@st.composite
+def scale_deltas(draw, max_size=8):
+    n = draw(st.integers(min_value=1, max_value=max_size))
+    ids = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=N_ELEMS - 1),
+            min_size=n, max_size=n,
+        )
+    )
+    vals = draw(
+        st.lists(
+            st.floats(min_value=0.125, max_value=8.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=n, max_size=n,
+        )
+    )
+    return MeshDelta(scale_elements=ids, scale_values=vals)
+
+
+@given(d1=scale_deltas(), d2=scale_deltas())
+@settings(max_examples=20, deadline=None)
+def test_sequential_deltas_equal_composed_delta(d1, d2):
+    """Applying d1 then d2 leaves the operator byte-identical to applying
+    the single composed delta (absolute scales, last wins)."""
+    A_seq, lm = _fresh_op()
+    _apply(A_seq, d1, lm)
+    _apply(A_seq, d2, lm)
+    A_one, lm2 = _fresh_op()
+    _apply(A_one, d1.compose(d2), lm2)
+    assert A_seq.ke.tobytes() == A_one.ke.tobytes()
+
+
+@given(d=scale_deltas())
+@settings(max_examples=15, deadline=None)
+def test_reapplying_same_delta_is_idempotent(d):
+    """Scales are absolute: applying the same delta twice is a no-op the
+    second time, byte for byte."""
+    A, lm = _fresh_op()
+    _apply(A, d, lm)
+    once = A.ke.tobytes()
+    _apply(A, d, lm)
+    assert A.ke.tobytes() == once
+
+
+def test_empty_delta_is_identity():
+    d = MeshDelta()
+    assert d.is_empty and not d.is_structural
+    A, lm = _fresh_op()
+    before = A.ke.tobytes()
+    A.update_elements(np.empty(0, dtype=np.int64), stiffness_scale=None)
+    assert A.ke.tobytes() == before
+    # composing with the empty delta changes nothing
+    d1 = MeshDelta(scale_elements=[3, 7], scale_values=[0.5, 2.0])
+    assert d1.compose(d) == d1 and d.compose(d1) == d1
+
+
+@given(d=scale_deltas())
+@settings(max_examples=15, deadline=None)
+def test_value_update_never_touches_scatter_structure(d):
+    """A value-only update recomputes matrices; the SegmentScatter index
+    structure (and its scratch identity) must stay byte-identical —
+    structure rebuilds are what the delta path exists to avoid."""
+    A, lm = _fresh_op()
+    segs = [s for s in (A._seg_indep, A._seg_dep, A._seg_all)
+            if s is not None]
+    assert segs
+    before = [
+        (s.indptr.tobytes(), s.indices.tobytes(), s.touched.tobytes(),
+         s._data.tobytes())
+        for s in segs
+    ]
+    _apply(A, d, lm)
+    after = [
+        (s.indptr.tobytes(), s.indices.tobytes(), s.touched.tobytes(),
+         s._data.tobytes())
+        for s in segs
+    ]
+    assert before == after
+
+
+def test_composition_matches_dict_semantics():
+    """compose() is exactly last-wins dict overlay on the id space."""
+    d1 = MeshDelta(scale_elements=[1, 5, 9], scale_values=[0.5, 1.5, 2.0])
+    d2 = MeshDelta(scale_elements=[5, 2], scale_values=[4.0, 0.25])
+    ref = {1: 0.5, 5: 1.5, 9: 2.0}
+    ref.update({5: 4.0, 2: 0.25})
+    merged = d1.compose(d2)
+    assert dict(zip(merged.scale_elements.tolist(),
+                    merged.scale_values.tolist())) == ref

@@ -1,0 +1,150 @@
+"""Differential delta-vs-rebuild suite: a delta-updated operator must be
+**bitwise identical** — not merely close — to one freshly built from the
+post-update mesh, for every operator kind, every update type, and every
+serving path (single-RHS, multi-RHS oracle, batched CG solve)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adapt import CrackFront, MeshDelta, apply_delta_to_spec
+from repro.serve.cache import ProblemKey, SolverContext
+
+METHODS = ("hymv", "assembled", "matfree", "partial", "hymv_gpu")
+KINDS = ("scale", "coords", "refine")
+
+
+def _key(method):
+    return ProblemKey(
+        problem="poisson", nel=4, n_parts=2, etype="tet4", seed=3,
+        method=method,
+    )
+
+
+def _delta(ctx, kind):
+    cf = CrackFront()
+    if kind == "scale":
+        return cf.scale_delta(ctx.spec.mesh, 0, 8)
+    if kind == "coords":
+        # front deep enough into the cube that interior nodes sit behind it
+        return cf.move_delta(ctx.spec, 3, 8, amplitude=2e-3)
+    if kind == "refine":
+        return cf.refine_delta(ctx.spec.mesh, 0, 8)
+    raise AssertionError(kind)
+
+
+def _assert_bitwise(ctx, fresh, seed=7):
+    assert fresh.n_dofs == ctx.n_dofs
+    rng = np.random.default_rng(seed)
+    for k in (1, 3):  # single-RHS and multi-RHS paths
+        X = rng.standard_normal((ctx.n_dofs, k))
+        Yd, _ = ctx.apply_multi(X, mode="oracle")
+        Yf, _ = fresh.apply_multi(X, mode="oracle")
+        assert np.array_equal(Yd, Yf)
+    F = rng.standard_normal((ctx.n_dofs, 2))
+    Sd, _ = ctx.solve_multi(F, rtol=1e-8, mode="oracle")
+    Sf, _ = fresh.solve_multi(F, rtol=1e-8, mode="oracle")
+    assert Sd["iterations"] == Sf["iterations"]  # same CG trajectory
+    assert np.array_equal(Sd["x"], Sf["x"])
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("method", METHODS)
+def test_delta_updated_operator_is_bitwise_fresh(method, kind):
+    """The differential matrix: operator kind x update type."""
+    ctx = SolverContext(_key(method))
+    delta = _delta(ctx, kind)
+    info = ctx.apply_delta(delta)
+    assert info["touched"] > 0
+    if kind == "refine":
+        assert info["path"] == "full_rebuild"  # structural: dofs change
+    _assert_bitwise(ctx, SolverContext(ctx.key))
+
+
+def test_delta_stream_stays_bitwise():
+    """A realistic stream — patch, move, refine, patch-on-refined — stays
+    bitwise against a fresh build replaying the whole key history."""
+    ctx = SolverContext(_key("hymv"))
+    cf = CrackFront()
+    paths = []
+    for d in (
+        cf.scale_delta(ctx.spec.mesh, 0, 8),
+        cf.move_delta(ctx.spec, 1, 8, amplitude=2e-3),
+        cf.refine_delta(ctx.spec.mesh, 2, 8),
+        cf.scale_delta(ctx.spec.mesh, 3, 8),
+    ):
+        paths.append(ctx.apply_delta(d)["path"])
+    assert paths[0] == "patch" and paths[2] == "full_rebuild"
+    assert len(ctx.key.deltas) == 4
+    _assert_bitwise(ctx, SolverContext(ctx.key))
+
+
+def test_rebuild_threshold_forces_full_rebuild():
+    """A delta touching more than the threshold fraction takes the
+    full-rebuild path — and still lands bitwise on the fresh build."""
+    ctx = SolverContext(_key("hymv"))
+    delta = CrackFront(half_width=0.5).scale_delta(ctx.spec.mesh, 0, 2)
+    info = ctx.apply_delta(delta, threshold=0.10)
+    assert info["fraction"] > 0.10
+    assert info["path"] == "full_rebuild"
+    assert info["ke_cache_hits"] > 0  # untouched matrices were reused
+    _assert_bitwise(ctx, SolverContext(ctx.key))
+
+
+def test_update_elements_out_of_range_raises():
+    """Regression: out-of-range local element ids must raise IndexError
+    (fancy-indexing through _inv_order used to wrap/ignore them), and a
+    failed update must leave the operator untouched."""
+    ctx = SolverContext(_key("hymv"))
+    A = ctx.ranks[0]["A"]
+    before = A.ke.tobytes()
+    for bad in ([A.n_local_elements], [-1], [0, 10 ** 6]):
+        with pytest.raises(IndexError, match="out of range"):
+            A.update_elements(np.asarray(bad), stiffness_scale=2.0)
+    assert A.ke.tobytes() == before
+
+
+def test_mesh_delta_validation():
+    with pytest.raises(ValueError, match="positive"):
+        MeshDelta(scale_elements=[1], scale_values=[0.0])
+    with pytest.raises(ValueError, match="length mismatch"):
+        MeshDelta(scale_elements=[1, 2], scale_values=[0.5])
+    with pytest.raises(ValueError, match="pure"):
+        MeshDelta(scale_elements=[1], scale_values=[0.5],
+                  refine_elements=[2])
+    with pytest.raises(ValueError, match="structural"):
+        MeshDelta(refine_elements=[1]).compose(MeshDelta())
+    # last occurrence wins on duplicate ids; order is canonicalized
+    d = MeshDelta(scale_elements=[4, 2, 4], scale_values=[1.0, 2.0, 3.0])
+    assert d.scale_elements.tolist() == [2, 4]
+    assert d.scale_values.tolist() == [2.0, 3.0]
+    same = MeshDelta(scale_elements=[2, 4], scale_values=[2.0, 3.0])
+    assert d == same and d.fingerprint() == same.fingerprint()
+
+
+def test_apply_delta_to_spec_bounds():
+    spec = _key("hymv").build_spec()
+    with pytest.raises(IndexError):
+        apply_delta_to_spec(
+            spec,
+            MeshDelta(scale_elements=[spec.mesh.n_elements],
+                      scale_values=[0.5]),
+        )
+    with pytest.raises(IndexError):
+        apply_delta_to_spec(
+            spec,
+            MeshDelta(move_nodes=[spec.mesh.n_nodes],
+                      move_coords=[[0.0, 0.0, 0.0]]),
+        )
+
+
+def test_key_fingerprint_tracks_delta_history():
+    base = _key("hymv")
+    d = MeshDelta(scale_elements=[1], scale_values=[0.5])
+    k1 = base.with_delta(d)
+    assert k1.fingerprint() != base.fingerprint()
+    assert k1.fingerprint() == base.with_delta(d).fingerprint()
+    # a different delta gives a different identity
+    d2 = MeshDelta(scale_elements=[1], scale_values=[0.25])
+    assert base.with_delta(d2).fingerprint() != k1.fingerprint()

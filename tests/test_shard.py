@@ -461,3 +461,91 @@ def test_tenant_storm_clips_heavy_tenant(suite):
         for t in tenants
     )
     assert any("hit_rate" in row for row in tenants.values())
+
+
+# ----------------------------------------------------------------------
+# incremental (delta) updates on the serve/shard path
+# ----------------------------------------------------------------------
+
+
+def _small_delta():
+    from repro.adapt import MeshDelta
+
+    return MeshDelta(scale_elements=[0, 1], scale_values=[0.5, 0.5])
+
+
+def test_cache_update_rekeys_in_place_preserving_lru():
+    """OperatorCache.update re-fingerprints the live context instead of
+    invalidate+rebuild: same object, new key, LRU position and tenant
+    accounting untouched (an update is not a use)."""
+    cache = OperatorCache(capacity=2, obs=Instrumentation(rank=0))
+    ctx_a, _ = cache.get(KEY_A, tenants=["t0"])
+    cache.get(KEY_B)  # B most recent; A is the LRU victim
+    new_key, info = cache.update(KEY_A, _small_delta())
+    assert info is not None and info["path"] == "patch"
+    assert cache.peek(new_key) is ctx_a  # re-keyed, not rebuilt
+    assert ctx_a.delta_version == 1
+    assert KEY_A not in cache and cache.peek(KEY_A) is None
+    assert cache.tenant_stats()["t0"] == {
+        "hits": 0, "misses": 1, "hit_rate": 0.0,
+    }
+    assert cache.obs.counters["serve.cache.delta_updates"] == 1
+    assert cache.obs.counters["serve.cache.delta_patches"] == 1
+    # LRU position preserved: one more distinct key evicts the updated
+    # context, not B
+    key_c = ProblemKey(problem="poisson", nel=4, n_parts=2, etype="hex8",
+                       seed=2)
+    cache.get(key_c)
+    assert new_key not in cache and KEY_B in cache and key_c in cache
+
+
+def test_cache_update_miss_rekeys_without_building():
+    cache = OperatorCache(capacity=2, obs=Instrumentation(rank=0))
+    dropped = []
+    cache.on_invalidate = dropped.append
+    new_key, info = cache.update(KEY_A, _small_delta())
+    assert info is None and len(cache) == 0  # nothing was built
+    assert new_key.deltas and new_key.fingerprint() != KEY_A.fingerprint()
+    assert cache.obs.counters["serve.cache.delta_misses"] == 1
+    assert dropped == [KEY_A]  # replicas still told the old key is stale
+
+
+def test_delta_update_invalidates_replicas_then_routes_fresh():
+    """Delta-then-route: an update on one replica drops the stale peer
+    via the coherence hook, the updated context serves the new key
+    bitwise-identically to a fresh build, and a routed request for the
+    new key completes — zero wrong answers."""
+    from repro.serve.cache import SolverContext
+
+    cluster, _, obs = _mini_cluster(n_shards=2, hot_threshold=1,
+                                    max_replicas=1)
+    for _ in range(2):
+        cluster.router.record(KEY_A)  # hot -> replicated on both shards
+    shards = cluster.router.targets(KEY_A)
+    assert len(shards) == 2
+    caches = [cluster.shard_state(s).service.cache for s in shards]
+    for c in caches:
+        c.get(KEY_A)  # warm both replicas
+
+    new_key, info = caches[0].update(KEY_A, _small_delta())
+    assert info is not None
+    # the origin kept its (updated) context; the stale peer was dropped
+    assert caches[0].peek(new_key) is not None
+    assert KEY_A not in caches[0] and KEY_A not in caches[1]
+    assert obs.counters["shard.coherent_invalidations"] == 1
+
+    # the updated replica is bitwise the fresh post-update operator
+    ctx = caches[0].peek(new_key)
+    fresh = SolverContext(new_key)
+    rng = np.random.default_rng(11)
+    X = rng.standard_normal((ctx.n_dofs, 2))
+    assert np.array_equal(
+        ctx.apply_multi(X, mode="oracle")[0],
+        fresh.apply_multi(X, mode="oracle")[0],
+    )
+
+    # routed serving continues on the new key with no failures
+    assert cluster.submit(_req(0, key=new_key), now=0.0)
+    disp = cluster.step(0.0)
+    done = [c for d in disp for c in d.outcome.completions]
+    assert [c.status for c in done] == ["ok"]
