@@ -8,6 +8,10 @@
   the off-rank row-contribution exchange that dominates setup at scale,
   then row-distributed CSR SPMV with a diag/off-diag split overlapping the
   halo exchange (PETSc's own scheme).
+* :mod:`repro.baselines.sellcs` — the SELL-C-sigma backend: the
+  assembled CSR blocks converted to sorted sliced-ELL with vectorized
+  slice kernels, bitwise-identical to the assembled SPMV under the row
+  permutation.
 * :mod:`repro.baselines.serial` — serial global assembly, the reference
   every distributed method is checked against bit-for-bit (up to FP
   roundoff).
@@ -16,11 +20,13 @@
 from repro.baselines.assembled import AssembledOperator
 from repro.baselines.matfree import MatrixFreeOperator
 from repro.baselines.partial import PartialAssemblyOperator
+from repro.baselines.sellcs import SellCSOperator
 from repro.baselines.serial import SerialReference
 
 __all__ = [
     "AssembledOperator",
     "MatrixFreeOperator",
     "PartialAssemblyOperator",
+    "SellCSOperator",
     "SerialReference",
 ]

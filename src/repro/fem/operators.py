@@ -88,6 +88,57 @@ class PoissonOperator(Operator):
 
 
 @dataclass(frozen=True)
+class GraphLaplacianOperator(Operator):
+    """Weighted graph Laplacian over per-element node cliques — the
+    non-FEM sparsity generator for the SELL-C-sigma backend.
+
+    Each element contributes the Laplacian of a weighted clique on its
+    nodes: ``K_e = diag(W_e 1) - W_e + shift * I``.  Edge weights are a
+    deterministic hash of the *physical* edge-midpoint coordinates (plus
+    ``seed``), so every element containing a geometric edge assigns it
+    the same weight and the assembled matrix is independent of the
+    partitioning and of element order.  A ``drop`` fraction of edges get
+    weight zero (hash below threshold), giving irregular per-row value
+    distributions; combined with an unstructured tet mesh's irregular
+    node valence this produces the skewed row-length histograms that a
+    sliced-ELL format has to handle.  The ``shift`` keeps the assembled
+    operator SPD (the pure Laplacian is only semi-definite).
+    """
+
+    ndpn: int = 1
+    seed: int = 0
+    drop: float = 0.35
+    shift: float = 0.05
+
+    def element_matrices(self, coords, etype):
+        # symmetric edge-midpoint hash -> uniform(0, 1) per node pair
+        mid = 0.5 * (coords[:, :, None, :] + coords[:, None, :, :])
+        phase = (
+            mid[..., 0] * 12.9898
+            + mid[..., 1] * 78.233
+            + mid[..., 2] * 37.719
+            + self.seed * 0.618033988749895
+        )
+        u = np.sin(phase) * 43758.5453123
+        u -= np.floor(u)
+        w = np.where(u < self.drop, 0.0, u)
+        n = coords.shape[1]
+        eye = np.eye(n)
+        w = w * (1.0 - eye)  # no self-edges
+        ke = np.zeros_like(w)
+        d = w.sum(axis=2)
+        idx = np.arange(n)
+        ke[:, idx, idx] = d + self.shift
+        ke -= w
+        return ke
+
+    def ke_flops(self, etype: ElementType) -> float:
+        """Hash + row-sum cost: ~30 flops per clique pair."""
+        n = etype.n_nodes
+        return 30.0 * n * n
+
+
+@dataclass(frozen=True)
 class ElasticityOperator(Operator):
     """Isotropic linear elasticity (3 dofs per node)."""
 

@@ -24,6 +24,7 @@ import scipy.sparse as sp
 from repro.baselines.assembled import AssembledOperator
 from repro.baselines.matfree import MatrixFreeOperator
 from repro.baselines.partial import PartialAssemblyOperator
+from repro.baselines.sellcs import SellCSOperator
 from repro.core.hymv import HymvOperator
 from repro.core.maps import build_node_maps
 from repro.core.rhs import assemble_rhs, local_node_coords
@@ -55,6 +56,7 @@ OPERATOR_FACTORIES = {
     "assembled": AssembledOperator,
     "matfree": MatrixFreeOperator,
     "partial": PartialAssemblyOperator,
+    "sellcs": SellCSOperator,
 }
 
 

@@ -190,10 +190,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     ap.add_argument(
         "--suite",
-        choices=["smoke", "kernels"],
+        choices=["smoke", "kernels", "sellcs"],
         default="smoke",
         help="smoke: modeled multi-rank matrix (machine-independent); "
-        "kernels: measured single-rank SPMV hot-path microbench",
+        "kernels: measured single-rank SPMV hot-path microbench; "
+        "sellcs: measured SELL-C-sigma (C, sigma) sweep and backend "
+        "crossover vs the assembled/HYMV paths",
     )
     ap.add_argument(
         "--repeats", type=int, default=None, help="repeats per (case, method)"
@@ -224,6 +226,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.kernelbench import run_kernels_suite
 
         doc = run_kernels_suite(repeats=args.repeats, verbose=not args.quiet)
+    elif args.suite == "sellcs":
+        from repro.obs.kernelbench import run_sellcs_suite
+
+        doc = run_sellcs_suite(repeats=args.repeats, verbose=not args.quiet)
     else:
         doc = run_smoke_suite(
             repeats=args.repeats,

@@ -63,14 +63,35 @@ def _compare_phases(
     budget: float,
     findings: list[Finding],
 ) -> None:
-    for label, bstats in base["phases"].items():
-        cstats = cand["phases"].get(label)
+    for label, bstats in base.get("phases", {}).items():
+        cstats = cand.get("phases", {}).get(label)
+        b = bstats["median"]
         if cstats is None:
-            findings.append(
-                Finding("warn", f"{key} {label}", "phase missing in candidate")
-            )
+            # a gated phase that vanishes is a hard failure, not a warn:
+            # "the hot path stopped being measured" must never read as
+            # "the hot path got faster".  Sub-floor phases were never
+            # gated, so their disappearance is only noteworthy.
+            if b > ABS_FLOOR_S:
+                findings.append(
+                    Finding(
+                        "fail",
+                        f"{key} {label}",
+                        f"gated phase missing in candidate (baseline "
+                        f"{b * 1e3:.4f} ms) — the instrumented code path "
+                        f"was removed or renamed; regenerate the baseline "
+                        f"if intentional",
+                    )
+                )
+            else:
+                findings.append(
+                    Finding(
+                        "warn",
+                        f"{key} {label}",
+                        "sub-floor phase missing in candidate",
+                    )
+                )
             continue
-        b, c = bstats["median"], cstats["median"]
+        c = cstats["median"]
         if b <= ABS_FLOOR_S:
             continue
         rel = (c - b) / b
@@ -101,12 +122,28 @@ def _compare_counters(
     counter_budget: float,
     findings: list[Finding],
 ) -> None:
-    for name, b in base["counters"].items():
-        c = cand["counters"].get(name)
+    for name, b in base.get("counters", {}).items():
+        c = cand.get("counters", {}).get(name)
         if c is None:
-            findings.append(
-                Finding("warn", f"{key} {name}", "counter missing in candidate")
-            )
+            # same reasoning as gated phases: a nonzero baseline counter
+            # that disappears means the work stopped being counted, which
+            # must not pass silently
+            if b > 0:
+                findings.append(
+                    Finding(
+                        "fail",
+                        f"{key} {name}",
+                        f"gated counter missing in candidate (baseline "
+                        f"{b:.6g}) — regenerate the baseline if intentional",
+                    )
+                )
+            else:
+                findings.append(
+                    Finding(
+                        "warn", f"{key} {name}",
+                        "zero-baseline counter missing in candidate",
+                    )
+                )
             continue
         if b <= 0:
             continue
@@ -282,9 +319,9 @@ def markdown_summary(
     for base in base_doc["results"]:
         key = result_key(base)
         cand = cand_by_key.get(key)
-        for label, bstats in base["phases"].items():
+        for label, bstats in base.get("phases", {}).items():
             b = bstats["median"]
-            cstats = cand["phases"].get(label) if cand else None
+            cstats = cand.get("phases", {}).get(label) if cand else None
             if cstats is None:
                 lines.append(f"| {key} | {label} | {b * 1e3:.4f} ms "
                              f"| *missing* | — |")
@@ -295,6 +332,27 @@ def markdown_summary(
                 f"| {key} | {label} | {b * 1e3:.4f} ms "
                 f"| {c * 1e3:.4f} ms | {delta} |"
             )
+    # SELL-C-sigma layout digest: padding cost of every candidate row that
+    # carries the sellcs gauges, so the format overhead is visible on the
+    # run summary next to the timings it buys
+    sell_rows = [
+        (result_key(r), r["counters"])
+        for r in cand_doc["results"]
+        if "sellcs.padded_nnz" in r.get("counters", {})
+    ]
+    if sell_rows:
+        lines += [
+            "",
+            "#### SELL-C-sigma layout",
+            "",
+            "| result | padded_nnz | occupancy |",
+            "|---|---:|---:|",
+        ]
+        lines += [
+            f"| {key} | {counters['sellcs.padded_nnz']:.0f} "
+            f"| {counters.get('sellcs.occupancy', float('nan')):.3f} |"
+            for key, counters in sell_rows
+        ]
     flagged = [f for f in findings if f.severity != "info"]
     if flagged:
         lines += ["", "#### Findings", ""]

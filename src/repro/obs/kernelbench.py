@@ -34,7 +34,16 @@ import numpy as np
 from repro.obs.instrumentation import Instrumentation, percentile
 from repro.obs.schema import new_bench_doc, validate_bench_doc
 
-__all__ = ["KernelCase", "KERNEL_CASES", "MULTIRHS_KS", "run_kernels_suite"]
+__all__ = [
+    "KernelCase",
+    "KERNEL_CASES",
+    "MULTIRHS_KS",
+    "run_kernels_suite",
+    "SELLCS_CASES",
+    "SELLCS_CHUNKS",
+    "SELLCS_KS",
+    "run_sellcs_suite",
+]
 
 #: peak-heap growth (bytes) attributable to interpreter-level object
 #: churn (boxed floats and dict entries from the instrumentation layer),
@@ -363,6 +372,341 @@ def _run_case_multirhs(
             )
     crossed = [k for k in MULTIRHS_KS if speedups[k] > 1.0]
     return rows, (min(crossed) if crossed else None)
+
+
+# ----------------------------------------------------------------------------
+# SELL-C-sigma suite: ``python -m repro.harness bench --suite sellcs``
+# ----------------------------------------------------------------------------
+
+#: chunk heights swept by the single-RHS (C, sigma) grid
+SELLCS_CHUNKS = (4, 8, 32)
+
+#: batch widths exercised by the sellcs multi-RHS comparison
+SELLCS_KS = (8, 32)
+
+
+def _poisson_tiny():
+    from repro.problems import poisson_problem
+
+    # 343 dofs: small enough that per-column halo/bookkeeping overhead
+    # dominates the assembled oracle — the shape class where the SELL
+    # chunk-matmul wins outright
+    return poisson_problem(6, n_parts=1)
+
+
+def _graphlap_small():
+    from repro.problems import graph_laplacian_problem
+
+    # 729 dofs over 3072 jittered tets: irregular row lengths
+    return graph_laplacian_problem(8, n_parts=1, seed=3)
+
+
+def _graphlap_medium():
+    from repro.problems import graph_laplacian_problem
+
+    # 4913 dofs over 24576 jittered tets
+    return graph_laplacian_problem(16, n_parts=1, seed=3)
+
+
+#: the sellcs suite matrix; ``sweep=False`` cases run only the default
+#: (C=32, sigma=8C) single-RHS row — the full 9-point (C, sigma) grid on
+#: the two small cases already characterizes the layout parameters, and
+#: each grid point costs a fresh assembly of the case
+SELLCS_CASES: tuple[KernelCase, ...] = (
+    KernelCase(name="poisson-hex8-tiny", make_spec=_poisson_tiny),
+    KernelCase(name="graphlap-tet4-small", make_spec=_graphlap_small),
+    KernelCase(
+        name="graphlap-tet4-medium",
+        make_spec=_graphlap_medium,
+        options={"sweep": False},
+    ),
+    KernelCase(
+        name="poisson-hex8-medium",
+        make_spec=_poisson_medium,
+        options={"sweep": False},
+    ),
+)
+
+
+def _time_fn(fn: Callable[[], Any], n: int, repeats: int) -> list[float]:
+    """Per-call wall seconds of ``fn``, one sample per repeat."""
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(n):
+            fn()
+        samples.append((time.perf_counter() - t0) / n)
+    return samples
+
+
+def _measure_alloc_fn(fn: Callable[[], Any], n: int) -> int:
+    """Peak heap growth (bytes) over ``n`` post-warmup calls of ``fn``."""
+    tracemalloc.start()
+    try:
+        fn()  # warm tracemalloc's own structures on this path
+        tracemalloc.reset_peak()
+        base = tracemalloc.get_traced_memory()[0]
+        for _ in range(n):
+            fn()
+        peak = tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+    return max(0, int(peak - base))
+
+
+def _sellcs_counters(A, raw_alloc: int) -> dict[str, float]:
+    counters = dict(A.comm.obs.snapshot()["counters"])
+    counters["spmv.bytes_alloc"] = float(
+        0 if raw_alloc <= ALLOC_FLOOR_BYTES else raw_alloc
+    )
+    counters["spmv.bytes_alloc_raw"] = float(raw_alloc)
+    return counters
+
+
+def _run_case_sellcs(
+    case: KernelCase, repeats: int, verbose: bool
+) -> tuple[list[dict[str, Any]], int | None]:
+    """All sellcs rows for one case.
+
+    Single-RHS: the assembled-CSR ``apply_owned`` is the reference row;
+    each ``(C, sigma)`` grid point is bitwise-gated against it *before*
+    timing (RuntimeError on any differing bit) and carries the
+    ``sellcs.padded_nnz`` / ``sellcs.occupancy`` gauges plus the floored
+    allocation counter CI gates to zero.  The speedup column is honest
+    about numpy-vs-scipy reality: slice kernels pay ~3 memory passes
+    against scipy's fused C loop, so these ratios sit below 1.
+
+    Multi-RHS (k in SELLCS_KS): the reference is the assembled
+    *per-column oracle* (k halo rounds + k CSR products — the serve
+    tier's bitwise fallback path, same convention as the kernels suite's
+    ``multirhs`` rows where the oracle is the gated reference).  Gated
+    before timing: the sellcs oracle must be **bitwise** equal to the
+    assembled oracle, and the sellcs chunk-matmul GEMM must match it
+    within the derived equivalence bound.  Rows: assembled oracle,
+    assembled SpMM gemm (where scipy wins — kept for honesty), sellcs
+    gemm (`speedup_vs_reference` vs the oracle), and HYMV gemm — the
+    backend-selection candidate.
+
+    Returns ``(rows, win_dofs)`` where ``win_dofs`` is the case's dof
+    count when the sellcs GEMM beat the HYMV GEMM at the widest ``k``
+    (the per-shape backend crossover evidence), else ``None``.
+    """
+    from repro.baselines.assembled import AssembledOperator
+    from repro.baselines.sellcs import SellCSOperator
+    from repro.core.hymv import HymvOperator
+    from repro.core.kernels import gemm_equivalence_rtol
+
+    spec = case.make_spec()
+    lmesh = spec.partition.local(0)
+    A_asm = AssembledOperator(_NullComm(), lmesh, spec.operator)
+
+    rng = np.random.default_rng(1234)
+    x = rng.standard_normal(A_asm.n_dofs_owned)
+    y_ref = A_asm.apply_owned(x)
+
+    rows: list[dict[str, Any]] = []
+    n_spmv = case.n_spmv
+
+    def asm_single():
+        A_asm.apply_owned(x, copy=False)
+
+    asm_single()
+    asm_single()  # steady state
+    samples = _time_fn(asm_single, n_spmv, repeats)
+    raw = _measure_alloc_fn(asm_single, n_spmv)
+    rows.append(
+        {
+            "case": case.name,
+            "method": "assembled-spmv",
+            "n_parts": 1,
+            "n_dofs": spec.n_dofs,
+            "n_spmv": n_spmv,
+            "phases": {"spmv.total": _phase_stats(samples)},
+            "counters": _sellcs_counters(A_asm, raw),
+        }
+    )
+    best_asm_single = min(samples)
+
+    sweep = case.options.get("sweep", True)
+    grid = (
+        [(C, s) for C in SELLCS_CHUNKS for s in (1, C, 8 * C)]
+        if sweep
+        else [(32, 256)]
+    )
+    S_default = None
+    for C, sigma in grid:
+        S = SellCSOperator(_NullComm(), lmesh, spec.operator, C=C, sigma=sigma)
+        if (C, sigma) == (32, 256):
+            S_default = S
+        # --- bitwise identity gate (before any timing is trusted) ------
+        ys = S.apply_owned(x)
+        if not np.array_equal(ys, y_ref):
+            diff = int(np.sum(ys != y_ref))
+            raise RuntimeError(
+                f"{case.name}/sellcs C={C} sigma={sigma}: SELL SPMV is not "
+                f"bitwise identical to the assembled-CSR reference "
+                f"({diff} differing entries)"
+            )
+
+        def sell_single(S=S):
+            S.apply_owned(x, copy=False)
+
+        sell_single()
+        sell_single()  # steady state
+        samples = _time_fn(sell_single, n_spmv, repeats)
+        raw = _measure_alloc_fn(sell_single, n_spmv)
+        row = {
+            "case": case.name,
+            "method": f"sellcs-C{C}-s{sigma}-spmv",
+            "n_parts": 1,
+            "n_dofs": spec.n_dofs,
+            "n_spmv": n_spmv,
+            "phases": {"spmv.total": _phase_stats(samples)},
+            "counters": _sellcs_counters(S, raw),
+            "bitwise_identical_to_reference": True,
+            "speedup_vs_reference": best_asm_single / min(samples),
+        }
+        rows.append(row)
+        if verbose:
+            print(
+                f"[bench]   sellcs C={C:>2} s={sigma:>3}: "
+                f"{min(samples) * 1e3:.3f} ms best-of-{repeats} "
+                f"({row['speedup_vs_reference']:.2f}x vs assembled, "
+                f"occ {S.occupancy:.3f})"
+            )
+    if S_default is None:
+        S_default = SellCSOperator(_NullComm(), lmesh, spec.operator)
+
+    # --- multi-RHS: sellcs GEMM vs the assembled per-column oracle -----
+    H = HymvOperator(
+        _NullComm(), lmesh, spec.operator, kernel="einsum", workspace=True
+    )
+    abs_diag = abs(A_asm.A_diag)
+    wmax = max((int(w) for w in S_default.S_diag.widths[:1]), default=1)
+    win_dofs: int | None = None
+    for k in SELLCS_KS:
+        X = rng.standard_normal((A_asm.n_dofs_owned, k))
+        # --- gates (before any timing is trusted) ----------------------
+        Yo_asm = A_asm.apply_owned_multi(X, mode="oracle")
+        Yo_sell = S_default.apply_owned_multi(X, mode="oracle")
+        if not np.array_equal(Yo_asm, Yo_sell):
+            diff = int(np.sum(Yo_asm != Yo_sell))
+            raise RuntimeError(
+                f"{case.name}/sellcs multirhs k={k}: SELL oracle is not "
+                f"bitwise identical to the assembled oracle "
+                f"({diff} differing entries)"
+            )
+        Yg = S_default.apply_owned_multi(X, mode="gemm")
+        # |A| |X| bounds every intermediate of both accumulation orders
+        # (single rank: the diag block is the whole operator)
+        scale = abs_diag @ np.abs(X)
+        rtol = gemm_equivalence_rtol(wmax, k=k)
+        err = np.abs(Yg - Yo_asm)
+        bound = rtol * np.maximum(scale, np.finfo(np.float64).tiny)
+        if not np.all(err <= bound):
+            worst = float(np.max(err / bound))
+            raise RuntimeError(
+                f"{case.name}/sellcs multirhs k={k}: chunk-matmul GEMM "
+                f"exceeds the derived oracle-equivalence bound "
+                f"(worst {worst:.3g}x of rtol {rtol:.3g})"
+            )
+        n_mult = max(2, n_spmv // k)
+        variants = [
+            ("assembled-oracle", lambda: A_asm.apply_owned_multi(
+                X, copy=False, mode="oracle"), A_asm),
+            ("assembled-gemm", lambda: A_asm.apply_owned_multi(
+                X, copy=False, mode="gemm"), A_asm),
+            ("sellcs-gemm", lambda: S_default.apply_owned_multi(
+                X, copy=False, mode="gemm"), S_default),
+            ("hymv-gemm", lambda: H.apply_owned_multi(
+                X, copy=False, mode="gemm"), H),
+        ]
+        best: dict[str, float] = {}
+        for tag, fn, A in variants:
+            fn()
+            fn()  # steady state
+            samples = _time_fn(fn, n_mult, repeats)
+            raw = _measure_alloc_fn(fn, n_mult)
+            best[tag] = min(samples)
+            row = {
+                "case": case.name,
+                "method": f"{tag.split('-')[0]}-multirhs-k{k}-"
+                f"{tag.split('-', 1)[1]}",
+                "n_parts": 1,
+                "n_dofs": spec.n_dofs,
+                "n_spmv": n_mult,
+                "k": k,
+                "phases": {"spmv.total": _phase_stats(samples)},
+                "counters": _sellcs_counters(A, raw),
+            }
+            if tag != "assembled-oracle":
+                row["speedup_vs_reference"] = (
+                    best["assembled-oracle"] / best[tag]
+                )
+                row["gemm_equivalence_rtol"] = rtol
+            if tag.startswith("sellcs"):
+                row["oracle_bitwise_identical"] = True
+            rows.append(row)
+        if verbose:
+            print(
+                f"[bench]   multirhs k={k:>2}: asm-oracle "
+                f"{best['assembled-oracle'] * 1e3:.3f} ms, asm-gemm "
+                f"{best['assembled-gemm'] * 1e3:.3f} ms, sellcs-gemm "
+                f"{best['sellcs-gemm'] * 1e3:.3f} ms "
+                f"({best['assembled-oracle'] / best['sellcs-gemm']:.2f}x "
+                f"vs oracle), hymv-gemm {best['hymv-gemm'] * 1e3:.3f} ms"
+            )
+        if k == max(SELLCS_KS) and best["sellcs-gemm"] < best["hymv-gemm"]:
+            win_dofs = spec.n_dofs
+    return rows, win_dofs
+
+
+def run_sellcs_suite(
+    repeats: int = 5,
+    cases: tuple[KernelCase, ...] = SELLCS_CASES,
+    verbose: bool = True,
+) -> dict[str, Any]:
+    """Run the SELL-C-sigma suite; returns a validated bench document.
+
+    Writes the per-shape backend crossover into
+    ``config.sellcs_crossover_dofs``: the largest benchmarked problem
+    size (dofs) at which the sellcs GEMM beat the HYMV GEMM at the
+    widest batch — ``SolverService(backend="auto")`` routes shapes at or
+    below it to SELL-C-sigma (see
+    :func:`repro.serve.loadgen.load_calibrated_crossover`).  ``None``
+    when HYMV won everywhere on this machine.
+    """
+    doc = new_bench_doc(
+        suite="sellcs",
+        repeats=repeats,
+        config={
+            "chunks": list(SELLCS_CHUNKS),
+            "sigmas": "1,C,8C",
+            "multirhs_ks": list(SELLCS_KS),
+            "cases": [c.name for c in cases],
+            "alloc_floor_bytes": ALLOC_FLOOR_BYTES,
+            "measured": True,  # real wall clock — gate ratios, not medians
+        },
+    )
+    wins: list[int] = []
+    for case in cases:
+        if verbose:
+            print(f"[bench] {case.name} ...", flush=True)
+        rows, win_dofs = _run_case_sellcs(case, repeats, verbose)
+        doc["results"].extend(rows)
+        if win_dofs is not None:
+            wins.append(win_dofs)
+    doc["config"]["sellcs_crossover_dofs"] = max(wins) if wins else None
+    if verbose:
+        print(
+            "[bench] sellcs backend crossover: "
+            + (
+                f"<= {max(wins)} dofs"
+                if wins
+                else "none measured (hymv fastest at every shape)"
+            )
+        )
+    return validate_bench_doc(doc)
 
 
 def run_kernels_suite(

@@ -1,8 +1,9 @@
-"""Fig. 10: roofline placement of the three SPMV methods.
+"""Fig. 10: roofline placement of the SPMV methods.
 
 Produces (arithmetic intensity, GFLOP/s) for each method on a single
-Cascade Lake core — the paper's Intel Advisor experiment — plus the
-roofline ceilings, and can render an ASCII roofline.
+Cascade Lake core — the paper's Intel Advisor experiment, extended with
+the repo's SELL-C-sigma backend — plus the roofline ceilings, and can
+render an ASCII roofline.
 """
 
 from __future__ import annotations
@@ -48,20 +49,26 @@ def roofline_points(
     measured_rates: dict[str, float] | None = None,
     machine: FronteraMachine = FRONTERA,
 ) -> list[RooflinePoint]:
-    """Roofline placement of the three methods.
+    """Roofline placement of the SPMV methods.
 
     ``measured_rates`` maps method → achieved GFLOP/s; when omitted the
     machine's single-core rates (calibrated from the paper's own Advisor
-    run, Fig. 10) are used.  Bytes follow the Advisor all-level traffic
-    convention — see :data:`repro.perfmodel.counters.ADVISOR_TRAFFIC_FACTOR`.
+    run, Fig. 10) are used.  Methods the paper never measured on a lone
+    core (``sellcs``) are placed *on* the attainable ceiling at their AI
+    unless a measured rate is supplied — a model-only upper placement,
+    flagged by the ceiling coinciding with the rate.  Bytes follow the
+    Advisor all-level traffic convention — see
+    :data:`repro.perfmodel.counters.ADVISOR_TRAFFIC_FACTOR`.
     """
     default_rates = dict(machine.rates.single_core_gflops)
     rates = {**default_rates, **(measured_rates or {})}
     out = []
-    for method in ("hymv", "assembled", "matfree"):
+    for method in ("hymv", "assembled", "matfree", "sellcs"):
         c = advisor_counters(method, etype, operator, n_elements, n_nodes)
         ceiling, bound = _ceiling(c.arithmetic_intensity, machine)
-        gf = rates[method]
+        gf = rates.get(method)
+        if gf is None:
+            gf = ceiling
         # points above the DRAM line are cache-resident traffic (Advisor
         # counts all levels), exactly as in the paper's plot
         out.append(

@@ -26,7 +26,12 @@ from repro.fem.analytic import (
 )
 from repro.fem.dirichlet import DirichletBC
 from repro.fem.material import IsotropicElasticity
-from repro.fem.operators import ElasticityOperator, Operator, PoissonOperator
+from repro.fem.operators import (
+    ElasticityOperator,
+    GraphLaplacianOperator,
+    Operator,
+    PoissonOperator,
+)
 from repro.mesh.element import ElementType, corner_faces
 from repro.mesh.mesh import Mesh
 from repro.mesh.structured import box_hex_mesh
@@ -34,7 +39,12 @@ from repro.mesh.unstructured import box_tet_mesh, jittered_hex_mesh
 from repro.partition.interface import Partition, build_partition
 from repro.util.arrays import INDEX_DTYPE
 
-__all__ = ["ProblemSpec", "poisson_problem", "elastic_bar_problem"]
+__all__ = [
+    "ProblemSpec",
+    "poisson_problem",
+    "elastic_bar_problem",
+    "graph_laplacian_problem",
+]
 
 
 @dataclass
@@ -125,6 +135,47 @@ def poisson_problem(
         body_force=lambda x: poisson_forcing(x)[..., None],
         bcs=[bc],
         analytic=poisson_exact,
+    )
+
+
+def graph_laplacian_problem(
+    nel: int | tuple[int, int, int],
+    n_parts: int,
+    etype: ElementType = ElementType.TET4,
+    part_method: str | None = None,
+    seed: int = 0,
+    drop: float = 0.35,
+    jitter: float = 0.3,
+) -> ProblemSpec:
+    """Seeded graph-Laplacian problem on an unstructured mesh — the
+    non-FEM sparsity scenario for the SELL-C-sigma backend.
+
+    The mesh/partition machinery supplies the adjacency; the operator is
+    a weighted clique Laplacian with deterministic coordinate-hashed
+    edge weights and a ``drop`` fraction of zeroed edges (see
+    :class:`~repro.fem.operators.GraphLaplacianOperator`).  A jittered
+    tet mesh gives irregular node valence, so the assembled rows have
+    the skewed length distribution sliced-ELL formats exist to handle.
+    Edge weights are a pure function of geometry and ``seed`` — the same
+    edge gets the same weight on every rank and in every partitioning —
+    so the problem is deterministic and the SELL-vs-CSR comparison is
+    bitwise on any fixed partition.
+    """
+    nx, ny, nz = (nel, nel, nel) if isinstance(nel, int) else nel
+    if etype.is_hex:
+        mesh = jittered_hex_mesh(nx, ny, nz, etype, jitter=jitter, seed=seed)
+    else:
+        mesh = box_tet_mesh(nx, ny, nz, etype, jitter=jitter, seed=seed)
+    part = build_partition(mesh, n_parts, method=part_method or "graph")
+    bc = DirichletBC(part.boundary_nodes_new(), 0.0, ndpn=1)
+    return ProblemSpec(
+        name=f"graphlap-{etype.value}",
+        mesh=mesh,
+        partition=part,
+        operator=GraphLaplacianOperator(seed=seed, drop=drop),
+        body_force=lambda x: np.ones(x.shape[:-1] + (1,)),
+        bcs=[bc],
+        analytic=None,
     )
 
 

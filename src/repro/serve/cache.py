@@ -54,7 +54,7 @@ class ProblemKey:
     :meth:`fingerprint` is the stable cache/string form of that identity.
     """
 
-    problem: str = "poisson"  # "poisson" | "elastic"
+    problem: str = "poisson"  # "poisson" | "elastic" | "graphlap"
     nel: int = 4
     n_parts: int = 4
     etype: str = "tet4"
@@ -79,6 +79,16 @@ class ProblemKey:
             )
         return hashlib.sha1(canon.encode()).hexdigest()[:12]
 
+    def n_dofs_estimate(self) -> int:
+        """Cheap closed-form dof-count estimate for backend routing (no
+        mesh build).  Exact for the structured box meshes all three
+        problem kinds use: ``(nel + 1)`` grid nodes per axis (the bar is
+        ``2 nel`` elements tall), times dofs per node."""
+        n = self.nel + 1
+        if self.problem == "elastic":
+            return n * n * (2 * self.nel + 1) * 3
+        return n * n * n
+
     def with_delta(self, delta) -> "ProblemKey":
         """The key of this operator after one more applied delta."""
         from dataclasses import replace
@@ -89,7 +99,11 @@ class ProblemKey:
         """Materialize the :class:`~repro.problems.ProblemSpec`, replaying
         the delta history so a fresh build lands on the post-update mesh."""
         from repro.mesh.element import ElementType
-        from repro.problems import elastic_bar_problem, poisson_problem
+        from repro.problems import (
+            elastic_bar_problem,
+            graph_laplacian_problem,
+            poisson_problem,
+        )
 
         etype = ElementType[self.etype.upper()]
         if self.problem == "poisson":
@@ -101,6 +115,10 @@ class ProblemKey:
                 (self.nel, self.nel, 2 * self.nel),
                 n_parts=self.n_parts,
                 etype=etype,
+            )
+        elif self.problem == "graphlap":
+            spec = graph_laplacian_problem(
+                self.nel, n_parts=self.n_parts, etype=etype, seed=self.seed
             )
         else:
             raise ValueError(f"unknown problem {self.problem!r}")
@@ -488,12 +506,13 @@ class SolverContext:
     def _model_count(self, touched_local: int, n_local: int) -> int:
         """Elements whose matrices an in-place patch recomputes on one
         rank: the touched batch for element-wise methods, everything for
-        the assembled baselines (reassembly is all-or-nothing), nothing
-        for matrix-free (state is coords/scale only)."""
+        the assembled baselines (reassembly is all-or-nothing — the
+        SELL-C-sigma operator reassembles and reconverts the same way),
+        nothing for matrix-free (state is coords/scale only)."""
         method = self.key.method
         if method == "matfree":
             return 0
-        if method.startswith("assembled"):
+        if method.startswith("assembled") or method == "sellcs":
             return n_local
         return touched_local
 

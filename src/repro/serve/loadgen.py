@@ -362,6 +362,26 @@ def load_calibrated_k_min(path: pathlib.Path) -> int | None:
     return int(val) if val is not None else None
 
 
+def load_calibrated_crossover(path: pathlib.Path) -> int | None:
+    """Read the HYMV-vs-SELL-C-sigma shape crossover from a sellcs-bench
+    document.
+
+    ``python -m repro.harness bench --suite sellcs`` writes the largest
+    measured problem size (in dofs) at which the SELL-C-sigma batched
+    apply beat HYMV into ``config.sellcs_crossover_dofs``; this loads it
+    for ``SolverService(backend="auto")`` (the ``--k-min-from``
+    convention).  Returns ``None`` — meaning no shape routes to sellcs —
+    when the file or key is absent, so pointing at a pre-calibration
+    baseline degrades gracefully.
+    """
+    try:
+        doc = json.loads(pathlib.Path(path).read_text())
+    except (OSError, ValueError):
+        return None
+    val = doc.get("config", {}).get("sellcs_crossover_dofs")
+    return int(val) if val is not None else None
+
+
 def run_serve_suite(
     seed: int = 1234,
     smoke: bool = True,

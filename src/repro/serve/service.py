@@ -71,6 +71,8 @@ class SolverService:
         mode: str = "auto",
         k_min: int | None = None,
         batcher: MicroBatcher | None = None,
+        backend: str | None = None,
+        sellcs_crossover_dofs: int | None = None,
     ):
         """``mode`` is the multi-RHS execution mode every batch runs
         under (``"auto"`` resolves per batch: GEMM when the batch width
@@ -81,10 +83,28 @@ class SolverService:
         ``batcher`` swaps the batch-forming policy (the shard tier passes
         a :class:`~repro.serve.batcher.DeadlineBatcher`); when given, it
         carries its own policy and ``max_batch`` is ignored.
+
+        ``backend`` is the per-problem-shape operator policy: ``None``
+        serves every request under the method its key asks for (the
+        historical behavior); ``"hymv"`` / ``"sellcs"`` force that
+        operator kind for every batch; ``"auto"`` picks per shape from
+        the calibrated crossover — SELL-C-sigma for problems with at
+        most ``sellcs_crossover_dofs`` dofs (where the sellcs bench
+        measured it winning the batched apply), HYMV above it.  Pass the
+        sellcs-bench report's ``config.sellcs_crossover_dofs`` via
+        :func:`repro.serve.loadgen.load_calibrated_crossover` (the
+        ``--k-min-from`` convention); with no calibration, ``"auto"``
+        keeps every shape on HYMV.  Routed batches are counted in
+        ``backend_histogram`` and the ``serve.backend.*`` counters.
         """
         if mode not in EMV_MODES:
             raise ValueError(
                 f"unknown execution mode {mode!r} (expected one of {EMV_MODES})"
+            )
+        if backend not in (None, "auto", "hymv", "sellcs"):
+            raise ValueError(
+                f"unknown backend policy {backend!r} "
+                "(expected None, 'auto', 'hymv' or 'sellcs')"
             )
         self.cache = cache
         self.obs = obs if obs is not None else cache.obs
@@ -96,6 +116,10 @@ class SolverService:
         self.maxiter = maxiter
         self.mode = mode
         self.k_min = k_min
+        self.backend = backend
+        self.sellcs_crossover_dofs = sellcs_crossover_dofs
+        # backend the routing policy actually dispatched to -> batch count
+        self.backend_histogram: dict[str, int] = {}
         self.batch_histogram: dict[int, int] = {}
         # what each dispatched batch actually ran under: "oracle" /
         # "gemm" / "degraded" (fault-degraded solves bypass the batched
@@ -146,8 +170,36 @@ class SolverService:
             self.obs.incr(f"serve.{'completed' if c.status == 'ok' else 'failed'}")
         return DispatchOutcome(completions, duration, expired, k)
 
+    def _route_key(self, key):
+        """Apply the backend policy: rewrite the key's operator kind (the
+        rest of the identity — problem, shape, deltas — is untouched, so
+        the cached context is still the right operator)."""
+        if self.backend is None:
+            return key
+        if self.backend == "auto":
+            method = (
+                "sellcs"
+                if (
+                    self.sellcs_crossover_dofs is not None
+                    and key.n_dofs_estimate() <= self.sellcs_crossover_dofs
+                )
+                else "hymv"
+            )
+        else:
+            method = self.backend
+        self.backend_histogram[method] = (
+            self.backend_histogram.get(method, 0) + 1
+        )
+        self.obs.incr(f"serve.backend.{method}")
+        if method == key.method:
+            return key
+        from dataclasses import replace
+
+        self.obs.incr("serve.backend.rerouted")
+        return replace(key, method=method)
+
     def _execute(self, batch: list[ServeRequest]) -> tuple[list[Completion], float]:
-        key, kind = batch[0].key, batch[0].kind
+        key, kind = self._route_key(batch[0].key), batch[0].kind
         duration = 0.0
         attempts = 0
         # attribute the (single) cache lookup to every batched request's

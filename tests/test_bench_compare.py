@@ -117,6 +117,74 @@ def test_compare_flags_missing_result(tiny_doc):
     assert ok
 
 
+def test_compare_fails_on_missing_gated_phase(tiny_doc):
+    """A gated phase that vanishes from the candidate must FAIL loudly
+    (historically it was a warn, so deleting the instrumented hot path —
+    e.g. renaming ``spmv.sell.diag`` — read as a pass)."""
+    gutted = copy.deepcopy(tiny_doc)
+    # simulate the sellcs hazard: the gated phase row loses its phase
+    gutted["results"][0]["phases"] = {
+        "spmv.sell.diag": {"median": 1.0, "min": 1.0, "max": 1.0,
+                           "repeats": 2},
+    }
+    ok, findings = compare_docs(tiny_doc, gutted)
+    assert not ok
+    fails = [f for f in findings if f.severity == "fail"]
+    assert any(
+        "spmv.total" in f.where and "gated phase missing" in f.message
+        for f in fails
+    )
+    # the message says what to do about it, not just that it happened
+    assert any("regenerate the baseline" in f.message for f in fails)
+
+
+def test_compare_fails_on_missing_gated_counter(tiny_doc):
+    gutted = copy.deepcopy(tiny_doc)
+    del gutted["results"][0]["counters"]["spmv.elements"]
+    ok, findings = compare_docs(tiny_doc, gutted)
+    assert not ok
+    assert any(
+        f.severity == "fail"
+        and "spmv.elements" in f.where
+        and "gated counter missing" in f.message
+        for f in findings
+    )
+
+
+def test_compare_tolerates_subfloor_phase_disappearing(tiny_doc):
+    """Phases at or under the absolute floor were never gated, so their
+    disappearance stays a warning, not a failure."""
+    from repro.obs.compare import ABS_FLOOR_S
+
+    base = copy.deepcopy(tiny_doc)
+    base["results"][0]["phases"]["spmv.negligible"] = {
+        "median": ABS_FLOOR_S / 2, "min": 0.0, "max": ABS_FLOOR_S,
+        "repeats": 2,
+    }
+    ok, findings = compare_docs(base, tiny_doc)
+    assert ok
+    assert any(
+        f.severity == "warn" and "spmv.negligible" in f.where
+        for f in findings
+    )
+
+
+def test_markdown_summary_carries_sellcs_occupancy(tiny_doc):
+    """Candidate rows carrying the sellcs gauges get a layout digest in
+    the CI step summary."""
+    from repro.obs.compare import markdown_summary
+
+    cand = copy.deepcopy(tiny_doc)
+    cand["results"][0]["counters"]["sellcs.padded_nnz"] = 7284.0
+    cand["results"][0]["counters"]["sellcs.occupancy"] = 0.9417
+    md = markdown_summary(tiny_doc, cand, [], True, 0.25)
+    assert "SELL-C-sigma layout" in md
+    assert "| poisson-tiny/hymv | 7284 | 0.942 |" in md
+    # and rows without the gauges render no digest at all
+    md = markdown_summary(tiny_doc, tiny_doc, [], True, 0.25)
+    assert "SELL-C-sigma layout" not in md
+
+
 def test_compare_cli_exit_codes(tiny_doc, tmp_path):
     base = tmp_path / "base.json"
     base.write_text(json.dumps(tiny_doc))
