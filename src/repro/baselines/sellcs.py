@@ -35,7 +35,14 @@ from repro.baselines.assembled import AssembledOperator
 from repro.core.da import DistributedArray, DistributedMultiVector
 from repro.core.kernels import resolve_mode
 from repro.core.scatter import scatter_begin, scatter_end
-from repro.core.sellcs import SellCS, SellWorkspace, build_sellcs, sell_spmm, sell_spmv
+from repro.core.sellcs import (
+    SellCS,
+    SellWorkspace,
+    build_sellcs,
+    resolve_sell_params,
+    sell_spmm,
+    sell_spmv,
+)
 from repro.fem.operators import Operator
 from repro.partition.interface import LocalMesh
 from repro.simmpi.communicator import Communicator
@@ -77,13 +84,16 @@ class SellCSOperator(AssembledOperator):
         operator: Operator,
         ranges: np.ndarray | None = None,
         elem_scale: np.ndarray | None = None,
-        C: int = 32,
+        C: int | None = None,
         sigma: int | None = None,
         gemm_k_min: int | None = None,
     ):
-        # _assemble (called from the base constructor) reads these
-        self.C = int(C)
-        self.sigma = int(sigma) if sigma is not None else 8 * int(C)
+        # _assemble (called from the base constructor) reads these.
+        # ``C=None`` resolves through the process-wide configured
+        # defaults (repro.core.sellcs.configure_sell_defaults — the
+        # autotuner's hook); an explicit C keeps sigma=8C unless sigma
+        # is also given, preserving the historical hard-coded behavior.
+        self.C, self.sigma = resolve_sell_params(C, sigma)
         super().__init__(comm, lmesh, operator, ranges=ranges, elem_scale=elem_scale)
         self.gemm_k_min = gemm_k_min
 
@@ -183,10 +193,13 @@ class SellCSOperator(AssembledOperator):
         if X.ndim != 2:
             raise ValueError(f"expected (n, k) multivector, got shape {X.shape}")
         k = X.shape[1]
+        if k == 1:
+            # a 1-wide "gemm" batch (k_min == 1) is the single-RHS kernel
+            # with extra steps — the workspaces only carry multi buffers
+            # for k > 1, so always take the single-RHS path here
+            y = self.apply_owned(np.ascontiguousarray(X[:, 0]), copy=copy)
+            return y.reshape(-1, 1)
         if resolve_mode(mode, k, self.gemm_k_min) != "gemm":
-            if k == 1:
-                y = self.apply_owned(np.ascontiguousarray(X[:, 0]), copy=copy)
-                return y.reshape(-1, 1)
             ws = self._bundle(k)
             Y = ws.Yout
             for j in range(k):

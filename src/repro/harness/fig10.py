@@ -15,6 +15,12 @@ from __future__ import annotations
 from repro.fem.operators import ElasticityOperator
 from repro.harness.driver import run_bench
 from repro.mesh.element import ElementType
+from repro.perfmodel.costs import (
+    CaseGeometry,
+    assembled_gpu_spmv_time,
+    gpu_spmv_time,
+    sellcs_gpu_spmv_time,
+)
 from repro.perfmodel.roofline import PAPER_ROOFLINE, render_ascii, roofline_points
 from repro.problems import elastic_bar_problem
 from repro.util.tables import ResultTable
@@ -62,4 +68,29 @@ def run(scale: str = "small") -> list[ResultTable]:
     art = ResultTable("Fig 10: ASCII roofline (DRAM ceiling dotted)", ["plot"])
     for line in render_ascii(pts).splitlines():
         art.add_row(line)
-    return [table, art]
+
+    # modeled GPU SPMV per method (Algorithm 3 companion): the streamed
+    # HYMV pipeline, the cuSPARSE CSR baseline and the SELL-C-sigma
+    # streamed-chunk branch the autotuner scores — one representative
+    # granularity, the paper's Fig. 8 setting
+    geo = CaseGeometry.from_granularity(
+        ElementType.HEX20, op, dofs_per_process=1.0e6, n_ranks=2
+    )
+    gpu_rows = (
+        ("hymv_gpu", gpu_spmv_time(geo, op, n_streams=8)),
+        ("assembled_gpu", assembled_gpu_spmv_time(geo, op)),
+        ("sellcs_gpu", sellcs_gpu_spmv_time(geo, op, n_streams=8)),
+        ("sellcs_gpu_C8", sellcs_gpu_spmv_time(geo, op, n_streams=8, C=8)),
+    )
+    gpu_table = ResultTable(
+        "Modeled GPU SPMV per method (1M dofs/process, 2 ranks, Ns=8)",
+        ["method", "t_spmv_ms"],
+    )
+    for name, t in gpu_rows:
+        gpu_table.add_row(name, t * 1e3)
+    gpu_table.add_note(
+        "sellcs_gpu streams padded slices at warp efficiency min(1, C/32): "
+        "C=8 chunks leave 3/4 of each warp idle, the cost the (C, sigma) "
+        "autotuner knob trades against padding"
+    )
+    return [table, art, gpu_table]

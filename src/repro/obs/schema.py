@@ -23,6 +23,8 @@ __all__ = [
     "SERVE_SCHEMA",
     "SERVE_SCHEMA_V1",
     "SHARD_SCHEMA",
+    "TUNE_CONFIG_SCHEMA",
+    "TUNE_SCHEMA",
     "SchemaError",
     "machine_fingerprint",
     "new_adapt_doc",
@@ -30,11 +32,13 @@ __all__ = [
     "new_chaos_doc",
     "new_serve_doc",
     "new_shard_doc",
+    "new_tune_doc",
     "validate_adapt_doc",
     "validate_bench_doc",
     "validate_chaos_doc",
     "validate_serve_doc",
     "validate_shard_doc",
+    "validate_tune_doc",
 ]
 
 #: Schema identifier; bump the trailing integer on breaking changes.
@@ -58,6 +62,20 @@ SERVE_SCHEMA_V1 = "repro.serve/1"
 #: the serve report, adding per-shard utilization, replication state,
 #: per-tenant stats and failover counts.
 SHARD_SCHEMA = "repro.shard/1"
+
+#: Tune-report schema (``TUNE_report.json`` written by
+#: ``python -m repro.harness tune``): the autotuner's full record —
+#: declarative search space, seeded search trajectory, Pareto set over
+#: (throughput, p99, memory), calibrated machine constants, and the
+#: winning config for the machine profile.  Bit-reproducible given the
+#: seed and the calibration inputs (modulo ``created_unix``/``machine``).
+TUNE_SCHEMA = "repro.tune/1"
+
+#: Tuned-config artifact schema (``tuned_config.json``): the small
+#: loadable distillation of a tune run — one flat knob→value config plus
+#: the calibrated constants — consumed by ``SolverService`` and the
+#: benches through :func:`repro.tune.calibration.load_tuned_config`.
+TUNE_CONFIG_SCHEMA = "repro.tune-config/1"
 
 #: Adapt-report schema (``ADAPT_report.json`` written by
 #: ``python -m repro.harness adapt``): incremental-update scenarios —
@@ -428,4 +446,89 @@ def validate_adapt_doc(doc: Any) -> dict[str, Any]:
             raise SchemaError(f"{where}.steps_detail must be a list")
         if not isinstance(sc["counters"], dict):
             raise SchemaError(f"{where}.counters must be an object")
+    return doc
+
+
+# ----------------------------------------------------------------------------
+# tune report
+# ----------------------------------------------------------------------------
+
+_TUNE_REQUIRED = (
+    "config", "space", "calibrated", "trajectory", "evaluations",
+    "cache_hits", "pareto", "default", "winner", "machine_profile",
+)
+_TUNE_TRIAL_KEYS = (
+    "step", "strategy", "fingerprint", "config", "objectives", "score",
+    "cached",
+)
+_TUNE_OBJECTIVE_KEYS = ("throughput_rps", "p99_s", "mem_bytes")
+_TUNE_WINNER_KEYS = ("fingerprint", "config", "objectives", "metrics", "score")
+
+
+def new_tune_doc(config: dict[str, Any] | None = None) -> dict[str, Any]:
+    """An empty, schema-conforming tune report."""
+    return {
+        "schema": TUNE_SCHEMA,
+        "created_unix": time.time(),
+        "machine": machine_fingerprint(),
+        "config": dict(config or {}),
+        "space": [],
+        "calibrated": None,
+        "trajectory": [],
+        "evaluations": 0,
+        "cache_hits": 0,
+        "pareto": [],
+        "default": None,
+        "winner": None,
+        "machine_profile": "",
+    }
+
+
+def validate_tune_doc(doc: Any) -> dict[str, Any]:
+    """Validate a parsed tune report; returns it on success."""
+    if not isinstance(doc, dict):
+        raise SchemaError(f"tune doc must be an object, got {type(doc).__name__}")
+    schema = doc.get("schema")
+    if schema != TUNE_SCHEMA:
+        raise SchemaError(
+            f"unsupported schema {schema!r} (expected {TUNE_SCHEMA!r})"
+        )
+    for key in ("machine",) + _TUNE_REQUIRED:
+        if key not in doc:
+            raise SchemaError(f"tune doc missing key {key!r}")
+    if not isinstance(doc["space"], list) or not doc["space"]:
+        raise SchemaError("'space' must be a non-empty list of knob specs")
+    for i, knob in enumerate(doc["space"]):
+        for key in ("name", "values", "default"):
+            if key not in knob:
+                raise SchemaError(f"space[{i}] missing key {key!r}")
+    if not isinstance(doc["trajectory"], list) or not doc["trajectory"]:
+        raise SchemaError("'trajectory' must be a non-empty list of trials")
+    for i, tr in enumerate(doc["trajectory"]):
+        where = f"trajectory[{i}]"
+        for key in _TUNE_TRIAL_KEYS:
+            if key not in tr:
+                raise SchemaError(f"{where} missing key {key!r}")
+        for key in _TUNE_OBJECTIVE_KEYS:
+            if key not in tr["objectives"]:
+                raise SchemaError(f"{where}.objectives missing key {key!r}")
+    if not isinstance(doc["pareto"], list) or not doc["pareto"]:
+        raise SchemaError("'pareto' must be a non-empty list")
+    for i, pt in enumerate(doc["pareto"]):
+        where = f"pareto[{i}]"
+        for key in ("fingerprint", "config", "objectives"):
+            if key not in pt:
+                raise SchemaError(f"{where} missing key {key!r}")
+        for key in _TUNE_OBJECTIVE_KEYS:
+            if key not in pt["objectives"]:
+                raise SchemaError(f"{where}.objectives missing key {key!r}")
+    for label in ("default", "winner"):
+        entry = doc[label]
+        if not isinstance(entry, dict):
+            raise SchemaError(f"'{label}' must be an object")
+        for key in _TUNE_WINNER_KEYS:
+            if key not in entry:
+                raise SchemaError(f"'{label}' missing key {key!r}")
+    if doc["calibrated"] is not None and not isinstance(doc["calibrated"], dict):
+        raise SchemaError("'calibrated' must be an object or null")
     return doc

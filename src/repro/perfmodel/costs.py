@@ -16,7 +16,11 @@ from dataclasses import dataclass
 
 from repro.fem.operators import Operator
 from repro.mesh.element import ElementType
-from repro.perfmodel.counters import estimate_nnz, spmv_counters
+from repro.perfmodel.counters import (
+    SELLCS_MODEL_OCCUPANCY,
+    estimate_nnz,
+    spmv_counters,
+)
 from repro.perfmodel.machine import FRONTERA, GPU_NODE, FronteraMachine, GpuModel
 
 __all__ = [
@@ -27,6 +31,7 @@ __all__ = [
     "gpu_spmv_time",
     "assembled_gpu_setup_time",
     "assembled_gpu_spmv_time",
+    "sellcs_gpu_spmv_time",
 ]
 
 # asymptotic nodes per element for each type (structured grids)
@@ -302,6 +307,84 @@ def gpu_spmv_time(
     else:
         raise ValueError(f"unknown GPU scheme {scheme!r}")
     return t * n_spmv
+
+
+def sellcs_gpu_spmv_time(
+    geo: CaseGeometry,
+    operator: Operator,
+    machine: FronteraMachine = FRONTERA,
+    gpu: GpuModel = GPU_NODE,
+    n_streams: int = 8,
+    n_chunks: int | None = None,
+    C: int = 32,
+    occupancy: float | None = None,
+    n_spmv: int = 1,
+) -> float:
+    """SELL-C-sigma SPMV on the GPU: occupancy-scaled streamed-chunk model.
+
+    The SELL layout is the GPU-native unified format (Kreutzer et al.,
+    arXiv:1112.5588): chunks of ``C`` rows are processed by one warp
+    each, streaming the padded value/column slices at GDDR rate.  The
+    model books:
+
+    * padded traffic and flops — the real nonzeros inflated by
+      ``1/occupancy`` (every padded slot is streamed and multiplied
+      against the pinned zero), plus the permuted x gather and the
+      permute-out pass;
+    * a warp-efficiency factor ``min(1, C/32)``: chunks narrower than a
+      warp leave lanes idle, so the effective streaming rate scales by
+      ``C/32`` below the warp width (wider chunks fill the warp; going
+      past 32 adds nothing because chunks map to whole warps);
+    * the stream pipeline of Algorithm 3 — the vectors cross PCIe in
+      ``n_chunks`` chunks over ``n_streams`` streams while the kernel
+      streams the resident slices, with per-chunk launch overhead — via
+      the same fill/drain approximation as :func:`gpu_spmv_time`;
+    * a host-staged halo exchange per product (the layout lives on
+      device; ghost values stage D2H/H2D like the cuSPARSE path).
+
+    ``occupancy`` defaults to the calibrated model value
+    (:data:`~repro.perfmodel.counters.SELLCS_MODEL_OCCUPANCY`); pass the
+    measured ``sellcs.occupancy`` gauge of the actual ``(C, sigma)``
+    layout for tuned placements.
+    """
+    if n_streams < 1:
+        raise ValueError(f"need at least one stream, got {n_streams}")
+    if C < 1:
+        raise ValueError(f"chunk height C must be >= 1, got {C}")
+    occ = occupancy if occupancy is not None else SELLCS_MODEL_OCCUPANCY
+    if not 0.0 < occ <= 1.0:
+        raise ValueError(f"occupancy must be in (0, 1], got {occ}")
+    if n_chunks is None:
+        n_chunks = n_streams
+    if n_chunks < 1:
+        raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+
+    n_dofs = geo.n_nodes * geo.ndpn
+    padded = estimate_nnz(geo.etype, geo.ndpn, geo.n_nodes) / occ
+    flops = 2.0 * padded
+    # slice values + int32 columns, the x gather through the padded
+    # vector, perm/inv index streams and the permute-out pass
+    kernel_bytes = (
+        padded * (8.0 + 4.0 + 8.0) + n_dofs * 4.0 * 2 + n_dofs * 8.0 * 3
+    )
+    warp_eff = min(1.0, C / 32.0)
+    t_kernel = max(
+        kernel_bytes / (gpu.mem_gbps * 1e9 * warp_eff),
+        flops / (gpu.fp64_gflops * 1e9 * warp_eff),
+    )
+    t_kernel += n_chunks * gpu.kernel_launch_s
+    vec_bytes = n_dofs * 8.0
+    t_h2d = vec_bytes / (gpu.pcie_gbps * 1e9)
+    t_d2h = vec_bytes / (gpu.pcie_gbps * 1e9)
+    stages = [t_h2d, t_kernel, t_d2h]
+    t_pipe = max(stages) + (sum(stages) - max(stages)) / max(n_streams, 1)
+
+    ghost_bytes = geo.ghost_nodes * geo.ndpn * 8.0
+    t_halo = (
+        _exchange_time(geo, machine)
+        + 2.0 * ghost_bytes / (gpu.pcie_gbps * 1e9)  # D2H + H2D staging
+    )
+    return (t_pipe + t_halo) * n_spmv
 
 
 def assembled_gpu_setup_time(

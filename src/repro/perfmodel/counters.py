@@ -58,9 +58,16 @@ def spmv_counters(
     operator: Operator,
     n_elements: float,
     n_nodes: float,
+    sellcs_occupancy: float | None = None,
 ) -> MethodCounters:
     """Counters of one SPMV on one rank with ``n_elements`` local
-    elements and ``n_nodes`` local nodes."""
+    elements and ``n_nodes`` local nodes.
+
+    ``sellcs_occupancy`` overrides :data:`SELLCS_MODEL_OCCUPANCY` for the
+    ``sellcs`` branch — pass a measured gauge (the bench's
+    ``sellcs.occupancy``) or the autotuner's calibrated value so model
+    placements track the actual ``(C, sigma)`` layout.
+    """
     ndpn = operator.ndpn
     nd = operator.element_dofs(etype)
     n_dofs = n_nodes * ndpn
@@ -100,7 +107,14 @@ def spmv_counters(
         # 1/occupancy — the x gather runs through the contiguous
         # permuted vector, and the row permutation adds two index
         # streams plus the permuted-output pass
-        padded = estimate_nnz(etype, ndpn, n_nodes) / SELLCS_MODEL_OCCUPANCY
+        occ = (
+            sellcs_occupancy
+            if sellcs_occupancy is not None
+            else SELLCS_MODEL_OCCUPANCY
+        )
+        if not 0.0 < occ <= 1.0:
+            raise ValueError(f"occupancy must be in (0, 1], got {occ}")
+        padded = estimate_nnz(etype, ndpn, n_nodes) / occ
         flops = 2.0 * padded
         bytes_ = (
             padded * 8.0  # slice values
@@ -140,10 +154,14 @@ def advisor_counters(
     operator: Operator,
     n_elements: float,
     n_nodes: float,
+    sellcs_occupancy: float | None = None,
 ) -> MethodCounters:
     """Counters under the Intel-Advisor traffic convention (Fig. 10):
     same flops, bytes scaled by the calibrated all-level traffic factor."""
-    c = spmv_counters(method, etype, operator, n_elements, n_nodes)
+    c = spmv_counters(
+        method, etype, operator, n_elements, n_nodes,
+        sellcs_occupancy=sellcs_occupancy,
+    )
     return MethodCounters(
         flops=c.flops, bytes_=c.bytes_ * ADVISOR_TRAFFIC_FACTOR[method]
     )

@@ -48,6 +48,7 @@ def roofline_points(
     n_nodes: float,
     measured_rates: dict[str, float] | None = None,
     machine: FronteraMachine = FRONTERA,
+    sellcs_occupancy: float | None = None,
 ) -> list[RooflinePoint]:
     """Roofline placement of the SPMV methods.
 
@@ -59,12 +60,17 @@ def roofline_points(
     flagged by the ceiling coinciding with the rate.  Bytes follow the
     Advisor all-level traffic convention — see
     :data:`repro.perfmodel.counters.ADVISOR_TRAFFIC_FACTOR`.
+    ``sellcs_occupancy`` moves the sellcs point to a measured/tuned
+    padding level instead of the model default.
     """
     default_rates = dict(machine.rates.single_core_gflops)
     rates = {**default_rates, **(measured_rates or {})}
     out = []
     for method in ("hymv", "assembled", "matfree", "sellcs"):
-        c = advisor_counters(method, etype, operator, n_elements, n_nodes)
+        c = advisor_counters(
+            method, etype, operator, n_elements, n_nodes,
+            sellcs_occupancy=sellcs_occupancy,
+        )
         ceiling, bound = _ceiling(c.arithmetic_intensity, machine)
         gf = rates.get(method)
         if gf is None:

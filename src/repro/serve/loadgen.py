@@ -79,6 +79,9 @@ class Workload:
     faults: FaultPlan | None = None
     mode: str = "auto"  # multi-RHS execution mode per batch
     k_min: int | None = None  # "auto" crossover (None -> DEFAULT_K_MIN)
+    backend: str | None = None  # operator routing policy (None/auto/hymv/sellcs)
+    sellcs_crossover_dofs: int | None = None  # "auto" backend crossover
+    verify: bool = True  # post-run answer re-check (off for tuner probes)
 
     def describe(self) -> dict[str, Any]:
         return {
@@ -97,13 +100,16 @@ class Workload:
             "cache_capacity": self.cache_capacity,
             "mode": self.mode,
             "k_min": self.k_min,
+            "backend": self.backend,
+            "sellcs_crossover_dofs": self.sellcs_crossover_dofs,
+            "verify": self.verify,
             "keys": [k.fingerprint() for k in self.keys],
             "faults": self.faults.describe() if self.faults else None,
         }
 
 
 def run_workload(
-    w: Workload, seed: int = 1234, k_min: int | None = None
+    w: Workload, seed: int = 1234, k_min: int | None = None, tuned=None
 ) -> dict[str, Any]:
     """Simulate one scenario; returns a schema-conforming scenario dict.
 
@@ -111,12 +117,17 @@ def run_workload(
     calibrated value loaded from a kernels-bench document via
     :func:`load_calibrated_k_min`); the workload's own ``k_min`` wins
     when set, keeping checked-in scenario baselines deterministic.
+    ``tuned`` (a ``get``-able autotuner artifact) fills the service
+    knobs the workload left at defaults — same precedence as
+    :class:`~repro.serve.service.SolverService`.
     """
     obs = Instrumentation(rank=-1)
     cache = OperatorCache(capacity=w.cache_capacity, obs=obs, faults=w.faults)
     service = SolverService(
         cache, max_batch=w.max_batch, queue_capacity=w.queue_capacity,
         mode=w.mode, k_min=w.k_min if w.k_min is not None else k_min,
+        backend=w.backend, sellcs_crossover_dofs=w.sellcs_crossover_dofs,
+        tuned=tuned,
     )
     rng = np.random.default_rng(seed)
 
@@ -207,7 +218,17 @@ def run_workload(
         now = t_end
         makespan = max(makespan, now)
 
-    wrong, ref = _verify(w, completions)
+    if w.verify:
+        wrong, ref = _verify(w, completions)
+        ctx0, _ = ref.get(w.keys[0])
+        n_parts, n_dofs = ctx0.n_parts, ctx0.n_dofs
+    else:
+        # tuner probes skip the (expensive) re-check: answer correctness
+        # is the serve suite's job, the probe only measures scheduling
+        wrong = 0
+        ctx0 = cache.peek(w.keys[0])
+        n_parts = ctx0.n_parts if ctx0 else w.keys[0].n_parts
+        n_dofs = ctx0.n_dofs if ctx0 else w.keys[0].n_dofs_estimate()
     obs.incr("serve.wrong_answers", wrong)  # materialize even when 0
 
     req_counts = {
@@ -222,12 +243,11 @@ def run_workload(
     counters = dict(sorted(obs.counters.items()))
     for name, val in sorted(cache.counters().items()):
         counters[name] = counters.get(name, 0) + val
-    ctx0, _ = ref.get(w.keys[0])
     return {
         "scenario": w.name,
         "workload": w.describe(),
-        "n_parts": ctx0.n_parts,
-        "n_dofs": ctx0.n_dofs,
+        "n_parts": n_parts,
+        "n_dofs": n_dofs,
         "requests": req_counts,
         "latency_s": {
             k: percentile_summary(v) for k, v in latency.items() if v
@@ -345,40 +365,37 @@ def suite_workloads(seed: int, smoke: bool = True) -> tuple[Workload, ...]:
 
 
 def load_calibrated_k_min(path: pathlib.Path) -> int | None:
-    """Read the measured GEMM crossover from a kernels-bench document.
+    """Deprecated alias: read the GEMM crossover from any tuned artifact.
 
-    ``python -m repro.harness bench --suite kernels`` writes the
-    calibrated crossover into ``config.gemm_k_min_crossover`` of
-    ``BENCH_kernels.json``; this loads it for the serve ``auto``
-    threshold.  Returns ``None`` (→ ``DEFAULT_K_MIN``) when the file or
-    key is absent, so pointing at a pre-calibration baseline degrades
-    gracefully.
+    Thin wrapper over the unified
+    :func:`repro.tune.calibration.load_tuned_config` — kept so existing
+    ``--k-min-from`` call sites keep working.  Accepts the historical
+    ``BENCH_kernels.json`` (``config.gemm_k_min_crossover``) as well as
+    the autotuner's ``tuned_config.json``/``TUNE_report.json``.  Returns
+    ``None`` (→ ``DEFAULT_K_MIN``) when the file or key is absent.
     """
-    try:
-        doc = json.loads(pathlib.Path(path).read_text())
-    except (OSError, ValueError):
-        return None
-    val = doc.get("config", {}).get("gemm_k_min_crossover")
+    from repro.tune.calibration import load_tuned_config
+
+    tuned = load_tuned_config(path)
+    val = tuned.get("gemm_k_min") if tuned is not None else None
     return int(val) if val is not None else None
 
 
 def load_calibrated_crossover(path: pathlib.Path) -> int | None:
-    """Read the HYMV-vs-SELL-C-sigma shape crossover from a sellcs-bench
-    document.
+    """Deprecated alias: read the HYMV-vs-SELL shape crossover from any
+    tuned artifact.
 
-    ``python -m repro.harness bench --suite sellcs`` writes the largest
-    measured problem size (in dofs) at which the SELL-C-sigma batched
-    apply beat HYMV into ``config.sellcs_crossover_dofs``; this loads it
-    for ``SolverService(backend="auto")`` (the ``--k-min-from``
-    convention).  Returns ``None`` — meaning no shape routes to sellcs —
-    when the file or key is absent, so pointing at a pre-calibration
-    baseline degrades gracefully.
+    Thin wrapper over the unified
+    :func:`repro.tune.calibration.load_tuned_config` — kept for existing
+    call sites (``SolverService(backend="auto")`` wiring).  Accepts the
+    historical ``BENCH_sellcs.json`` (``config.sellcs_crossover_dofs``)
+    as well as the autotuner artifacts.  Returns ``None`` — meaning no
+    shape routes to sellcs — when the file or key is absent.
     """
-    try:
-        doc = json.loads(pathlib.Path(path).read_text())
-    except (OSError, ValueError):
-        return None
-    val = doc.get("config", {}).get("sellcs_crossover_dofs")
+    from repro.tune.calibration import load_tuned_config
+
+    tuned = load_tuned_config(path)
+    val = tuned.get("sellcs_crossover_dofs") if tuned is not None else None
     return int(val) if val is not None else None
 
 
@@ -387,13 +404,14 @@ def run_serve_suite(
     smoke: bool = True,
     verbose: bool = True,
     k_min: int | None = None,
+    tuned=None,
 ) -> tuple[dict[str, Any], dict[str, Any]]:
     """Run the standard scenarios; returns ``(serve_doc, bench_doc)``."""
     doc = new_serve_doc(config={"seed": seed, "smoke": smoke, "k_min": k_min})
     for w in suite_workloads(seed, smoke=smoke):
         if verbose:
             print(f"[serve] scenario {w.name} ...", flush=True)
-        sc = run_workload(w, seed=seed, k_min=k_min)
+        sc = run_workload(w, seed=seed, k_min=k_min, tuned=tuned)
         doc["scenarios"].append(sc)
         if verbose:
             lat = sc["latency_s"].get("all", {})
@@ -495,8 +513,33 @@ def main(argv: list[str] | None = None) -> int:
         "document's config.gemm_k_min_crossover (--k-min wins if both "
         "are given; missing file/key falls back to the default)",
     )
+    ap.add_argument(
+        "--tuned-from",
+        type=pathlib.Path,
+        default=None,
+        metavar="TUNED_CONFIG_JSON",
+        help="load an autotuner artifact (tuned_config.json, "
+        "TUNE_report.json or a legacy bench doc) and apply its service "
+        "knobs + SELL (C, sigma) defaults (--k-min/--k-min-from win for "
+        "the GEMM crossover)",
+    )
     ap.add_argument("--quiet", action="store_true")
     args = ap.parse_args(argv)
+
+    from repro.tune.calibration import load_tuned_config
+
+    tuned = load_tuned_config(args.tuned_from)
+    if tuned is not None:
+        if tuned.get("sell_c") is not None:
+            from repro.core.sellcs import configure_sell_defaults
+
+            c = int(tuned.get("sell_c"))
+            sigma = int(tuned.get("sell_sigma_factor", 8)) * c
+            configure_sell_defaults(c, sigma)
+            if not args.quiet:
+                print(f"[serve] tuned SELL defaults C={c} sigma={sigma}")
+        if not args.quiet:
+            print(f"[serve] tuned config from {args.tuned_from}")
 
     k_min = args.k_min
     if k_min is None and args.k_min_from is not None:
@@ -505,7 +548,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[serve] calibrated k_min={k_min} from {args.k_min_from}")
 
     doc, bench = run_serve_suite(
-        seed=args.seed, smoke=args.smoke, verbose=not args.quiet, k_min=k_min
+        seed=args.seed, smoke=args.smoke, verbose=not args.quiet, k_min=k_min,
+        tuned=tuned,
     )
     for path, payload in ((args.out, doc), (args.bench_out, bench)):
         path.parent.mkdir(parents=True, exist_ok=True)

@@ -73,6 +73,7 @@ class SolverService:
         batcher: MicroBatcher | None = None,
         backend: str | None = None,
         sellcs_crossover_dofs: int | None = None,
+        tuned=None,
     ):
         """``mode`` is the multi-RHS execution mode every batch runs
         under (``"auto"`` resolves per batch: GEMM when the batch width
@@ -96,7 +97,29 @@ class SolverService:
         ``--k-min-from`` convention); with no calibration, ``"auto"``
         keeps every shape on HYMV.  Routed batches are counted in
         ``backend_histogram`` and the ``serve.backend.*`` counters.
+
+        ``tuned`` is an autotuner artifact — anything with a
+        ``get(name, default)`` (a ``repro.tune.calibration.TunedConfig``
+        loaded from ``tuned_config.json``, or a plain dict-like).  Its
+        values fill every knob the caller left at the built-in default:
+        ``max_batch``, ``queue_capacity``, ``gemm_k_min`` (→ ``k_min``)
+        and ``sellcs_crossover_dofs`` (a positive value also switches an
+        unset ``backend`` to ``"auto"`` so the routing takes effect).
+        Explicitly passed knobs win over the artifact.
         """
+        if tuned is not None:
+            if max_batch == 8 and tuned.get("max_batch") is not None:
+                max_batch = int(tuned.get("max_batch"))
+            if queue_capacity == 64 and tuned.get("queue_capacity") is not None:
+                queue_capacity = int(tuned.get("queue_capacity"))
+            if k_min is None and tuned.get("gemm_k_min") is not None:
+                k_min = int(tuned.get("gemm_k_min"))
+            if sellcs_crossover_dofs is None:
+                crossover = tuned.get("sellcs_crossover_dofs")
+                if crossover:
+                    sellcs_crossover_dofs = int(crossover)
+                    if backend is None:
+                        backend = "auto"
         if mode not in EMV_MODES:
             raise ValueError(
                 f"unknown execution mode {mode!r} (expected one of {EMV_MODES})"

@@ -578,14 +578,40 @@ def main(argv: list[str] | None = None) -> int:
         "document's config.gemm_k_min_crossover (--k-min wins if both "
         "are given; missing file/key falls back to the default)",
     )
+    ap.add_argument(
+        "--tuned-from",
+        type=pathlib.Path,
+        default=None,
+        metavar="TUNED_CONFIG_JSON",
+        help="load an autotuner artifact (tuned_config.json, "
+        "TUNE_report.json or a legacy bench doc) and apply its GEMM "
+        "crossover + SELL (C, sigma) defaults (--k-min/--k-min-from win)",
+    )
     ap.add_argument("--quiet", action="store_true")
     args = ap.parse_args(argv)
+
+    from repro.tune.calibration import load_tuned_config
+
+    tuned = load_tuned_config(args.tuned_from)
+    if tuned is not None:
+        if tuned.get("sell_c") is not None:
+            from repro.core.sellcs import configure_sell_defaults
+
+            c = int(tuned.get("sell_c"))
+            sigma = int(tuned.get("sell_sigma_factor", 8)) * c
+            configure_sell_defaults(c, sigma)
+            if not args.quiet:
+                print(f"[shard] tuned SELL defaults C={c} sigma={sigma}")
 
     k_min = args.k_min
     if k_min is None and args.k_min_from is not None:
         k_min = load_calibrated_k_min(args.k_min_from)
         if not args.quiet and k_min is not None:
             print(f"[shard] calibrated k_min={k_min} from {args.k_min_from}")
+    if k_min is None and tuned is not None and tuned.get("gemm_k_min") is not None:
+        k_min = int(tuned.get("gemm_k_min"))
+        if not args.quiet:
+            print(f"[shard] tuned k_min={k_min} from {args.tuned_from}")
 
     doc, bench = run_shard_suite(
         seed=args.seed, smoke=args.smoke, verbose=not args.quiet, k_min=k_min

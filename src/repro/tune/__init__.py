@@ -1,0 +1,37 @@
+"""repro.tune — autotuner & design-space exploration.
+
+Declarative search space over every system knob (GPU streams, batching,
+caching, crossovers, SELL layout), seeded deterministic strategies
+scored by virtual-time harness probes and the perfmodel, multi-objective
+Pareto pruning, and perfmodel calibration from measured bench reports.
+
+Entry point: ``python -m repro.harness tune``.
+
+This package root only exposes the dependency-light pieces (space,
+Pareto, calibration) so that ``repro.serve`` can import
+:func:`~repro.tune.calibration.load_tuned_config` without a cycle; the
+evaluator, strategies and CLI (which import the serve/harness tiers)
+load on demand from their own modules.
+"""
+
+from repro.tune.calibration import (
+    TunedConfig,
+    calibrated_machine,
+    fit_machine_constants,
+    load_tuned_config,
+)
+from repro.tune.pareto import Objectives, dominates, pareto_front
+from repro.tune.space import Knob, SearchSpace, default_space
+
+__all__ = [
+    "Knob",
+    "Objectives",
+    "SearchSpace",
+    "TunedConfig",
+    "calibrated_machine",
+    "default_space",
+    "dominates",
+    "fit_machine_constants",
+    "load_tuned_config",
+    "pareto_front",
+]

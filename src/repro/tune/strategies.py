@@ -1,0 +1,156 @@
+"""Seeded search strategies over a :class:`~repro.tune.space.SearchSpace`.
+
+Three deliberately small, fully deterministic loops — pure functions of
+``(space, evaluator, seed, budget)``:
+
+* **random** — grid-uniform sampling (the coverage baseline);
+* **hill-climb** — greedy single-knob moves with restarts, the first
+  restart anchored at the hand-picked default so the winner can only
+  walk *away* from it along improving moves;
+* **evolutionary** — a (mu + lambda) loop with uniform crossover and
+  per-knob mutation.
+
+Every probe is appended to a shared trajectory (step, strategy, config,
+objectives, score, cached) — the audit log the TUNE report carries.
+Scores are "lower is better" (see :func:`repro.tune.evaluate._score`);
+ties break on fingerprint so ordering never depends on dict iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tune.evaluate import BaseEvaluator, EvalResult
+from repro.tune.space import SearchSpace
+
+__all__ = ["STRATEGIES", "evolutionary", "hill_climb", "random_search", "run_search"]
+
+
+def _better(a: EvalResult, b: EvalResult) -> bool:
+    """Strict "a beats b" with a deterministic fingerprint tiebreak."""
+    return (a.score, a.fingerprint) < (b.score, b.fingerprint)
+
+
+def random_search(
+    space: SearchSpace,
+    evaluator: BaseEvaluator,
+    rng: np.random.Generator,
+    budget: int,
+    trajectory: list,
+) -> list[EvalResult]:
+    out = []
+    for _ in range(budget):
+        r = evaluator.evaluate(space.sample(rng))
+        trajectory.append(r.as_trial(len(trajectory), "random"))
+        out.append(r)
+    return out
+
+
+def hill_climb(
+    space: SearchSpace,
+    evaluator: BaseEvaluator,
+    rng: np.random.Generator,
+    budget: int,
+    trajectory: list,
+) -> list[EvalResult]:
+    """Greedy coordinate descent with random restarts.
+
+    Sweeps the knobs in declaration order, probing one grid step up and
+    down per knob and moving on improvement; a full sweep with no
+    improving move restarts from a fresh sample.  The first walk starts
+    at the hand-picked default, so every single-knob improvement over
+    the default is found deterministically (the rng is only consulted
+    for restarts)."""
+    out: list[EvalResult] = []
+
+    def probe(cfg: dict) -> EvalResult:
+        r = evaluator.evaluate(cfg)
+        trajectory.append(r.as_trial(len(trajectory), "hill-climb"))
+        out.append(r)
+        return r
+
+    cur = probe(space.default_config())
+    while len(out) < budget:
+        improved = False
+        for knob in space.knobs:
+            if len(out) >= budget:
+                break
+            if not knob.active(cur.config):
+                continue
+            i = knob.values.index(cur.config[knob.name])
+            for j in (i + 1, i - 1):
+                if len(out) >= budget or not 0 <= j < len(knob.values):
+                    continue
+                cand_cfg = dict(cur.config)
+                cand_cfg[knob.name] = knob.values[j]
+                cand = probe(space.normalize(cand_cfg))
+                if _better(cand, cur):
+                    cur, improved = cand, True
+                    break
+        if not improved and len(out) < budget:
+            cur = probe(space.sample(rng))
+    return out
+
+
+def evolutionary(
+    space: SearchSpace,
+    evaluator: BaseEvaluator,
+    rng: np.random.Generator,
+    budget: int,
+    trajectory: list,
+    mu: int = 3,
+    lam: int = 4,
+    p_mutate: float = 0.3,
+) -> list[EvalResult]:
+    """A small (mu + lambda) loop seeded with the default config."""
+    out: list[EvalResult] = []
+
+    def probe(cfg: dict) -> EvalResult:
+        r = evaluator.evaluate(cfg)
+        trajectory.append(r.as_trial(len(trajectory), "evolutionary"))
+        out.append(r)
+        return r
+
+    pop = [probe(space.default_config())]
+    while len(out) < budget and len(pop) < mu:
+        pop.append(probe(space.sample(rng)))
+    while len(out) < budget:
+        pop.sort(key=lambda r: (r.score, r.fingerprint))
+        parents = pop[:mu]
+        for _ in range(min(lam, budget - len(out))):
+            a = parents[int(rng.integers(len(parents)))]
+            b = parents[int(rng.integers(len(parents)))]
+            child = space.mutate(
+                space.crossover(a.config, b.config, rng), rng, p=p_mutate
+            )
+            pop.append(probe(child))
+    return out
+
+
+STRATEGIES = (
+    ("random", random_search),
+    ("hill-climb", hill_climb),
+    ("evolutionary", evolutionary),
+)
+
+
+def run_search(
+    space: SearchSpace,
+    evaluator: BaseEvaluator,
+    seed: int,
+    budget_per_strategy: int,
+) -> tuple[list, list[EvalResult]]:
+    """Run every strategy under its own sub-seeded generator.
+
+    Returns ``(trajectory, results)``; the trajectory is the flat audit
+    log, ``results`` the evaluated candidates (cached re-probes
+    included, so dominance analysis sees every visit).
+    """
+    trajectory: list = []
+    results: list[EvalResult] = []
+    for idx, (name, fn) in enumerate(STRATEGIES):
+        rng = np.random.default_rng([seed, idx])
+        results.extend(
+            fn(space, evaluator, rng, budget_per_strategy, trajectory)
+        )
+    return trajectory, results
